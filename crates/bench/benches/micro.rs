@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the building blocks: the hash validating
+//! In-n-Out's in-place reads, the Zipfian sampler driving YCSB, raw
+//! simulator event throughput, and full simulated KV operations (wall-clock
+//! cost of simulating one SWARM-KV / DM-ABD / RAW op end to end).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+use swarm_bench::{build, ExpParams, System, Testbed};
+use swarm_kv::KvStore;
+use swarm_sim::Sim;
+use swarm_workload::Zipfian;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xxh64");
+    for size in [64usize, 1024, 8192] {
+        let data = vec![0xABu8; size];
+        g.throughput(Throughput::Bytes(size as u64));
+        g.bench_function(format!("{size}B"), |b| {
+            b.iter(|| swarm_core::xxh64(black_box(&data), 42))
+        });
+    }
+    g.finish();
+}
+
+fn bench_zipfian(c: &mut Criterion) {
+    let z = Zipfian::ycsb(1_000_000);
+    let mut x = 0.1f64;
+    c.bench_function("zipfian_sample", |b| {
+        b.iter(|| {
+            x = (x * 1103515245.0 + 12345.0) % 1.0;
+            black_box(z.sample(x.abs()))
+        })
+    });
+}
+
+fn bench_sim_events(c: &mut Criterion) {
+    c.bench_function("sim_10k_timer_events", |b| {
+        b.iter_batched(
+            || Sim::new(7),
+            |sim| {
+                let s = sim.clone();
+                sim.spawn(async move {
+                    for _ in 0..10_000 {
+                        s.sleep_ns(10).await;
+                    }
+                });
+                sim.run()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_kv_ops(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulated_kv_op");
+    for sys in [System::Raw, System::Swarm, System::DmAbd] {
+        g.bench_function(format!("{}_get+update", sys.name()), |b| {
+            b.iter_batched(
+                || {
+                    let sim = Sim::new(11);
+                    let p = ExpParams {
+                        n_keys: 64,
+                        warmup_ops: 0,
+                        measure_ops: 0,
+                        ..Default::default()
+                    };
+                    let bed = build(&sim, sys, &p);
+                    (sim, bed)
+                },
+                |(sim, bed)| {
+                    let Testbed::Cluster { clients, .. } = &bed else {
+                        unreachable!()
+                    };
+                    let c0 = std::rc::Rc::clone(&clients[0]);
+                    sim.block_on(async move {
+                        black_box(c0.get(1).await);
+                        black_box(c0.update(1, vec![7u8; 64]).await);
+                    });
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash, bench_zipfian, bench_sim_events, bench_kv_ops);
+criterion_main!(benches);

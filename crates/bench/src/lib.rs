@@ -1,0 +1,304 @@
+//! Experiment harness for the SWARM evaluation (§7).
+//!
+//! One binary per table/figure regenerates the corresponding result:
+//!
+//! | binary  | reproduces |
+//! |---------|------------|
+//! | `table2`| roundtrips per op, common case & P99 |
+//! | `fig5`  | latency CDFs, 4 systems, YCSB B |
+//! | `fig6`  | latency CDFs with 1 M keys and 5 MiB caches |
+//! | `fig7`  | per-core throughput–latency, 1–8 concurrent ops |
+//! | `fig8`  | scalability, 1–64 clients |
+//! | `fig9`  | value-size sweep, In-n-Out vs pure out-of-place |
+//! | `fig10` | replication factor 3/5/7 |
+//! | `table3`| resource consumption |
+//! | `fig11` | memory-node crash timeline |
+//! | `fig12` | extreme contention on a single key |
+//! | `fig13` | number of In-n-Out metadata buffers |
+//!
+//! Binaries accept `--full` for paper-scale op counts (default is a quick
+//! mode sized to finish in seconds each) and print the same rows/series the
+//! paper reports, plus CSVs under `target/experiments/`.
+
+use std::io::Write as _;
+use std::rc::Rc;
+
+use swarm_kv::KvStore;
+use swarm_kv::{
+    Cluster, ClusterConfig, FuseeCluster, FuseeKv, KvClient, KvClientConfig, Proto, RunConfig,
+    RunStats,
+};
+use swarm_sim::{Histogram, Sim};
+use swarm_workload::{OpType, Workload, WorkloadSpec};
+
+pub use swarm_kv::run_workload;
+
+/// The four systems of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// Unreplicated lower bound.
+    Raw,
+    /// SWARM-KV (Safe-Guess + In-n-Out).
+    Swarm,
+    /// ABD with out-of-place updates.
+    DmAbd,
+    /// FUSEE-like synchronous replication.
+    Fusee,
+}
+
+impl System {
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            System::Raw => "RAW",
+            System::Swarm => "SWARM-KV",
+            System::DmAbd => "DM-ABD",
+            System::Fusee => "FUSEE",
+        }
+    }
+
+    /// All four systems.
+    pub fn all() -> [System; 4] {
+        [System::Raw, System::Swarm, System::DmAbd, System::Fusee]
+    }
+}
+
+/// Common experiment parameters (defaults follow §7: 3 replicas, 100 K keys,
+/// 64 B values, 4 clients, warm-up then measurement).
+#[derive(Debug, Clone)]
+pub struct ExpParams {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of keys.
+    pub n_keys: u64,
+    /// Value size in bytes.
+    pub value_size: usize,
+    /// Number of clients.
+    pub clients: usize,
+    /// Concurrent ops per client.
+    pub concurrency: usize,
+    /// Replicas per key.
+    pub replicas: usize,
+    /// In-n-Out metadata buffers per key (`None` = one per client, the
+    /// paper's recommendation).
+    pub meta_bufs: Option<usize>,
+    /// In-place data at the designated replica (`false` = "Out-P.").
+    pub inplace: bool,
+    /// Warm-up ops (total).
+    pub warmup_ops: u64,
+    /// Measured ops (total).
+    pub measure_ops: u64,
+    /// Location-cache entries per client (`None` = unbounded).
+    pub cache_entries: Option<usize>,
+}
+
+impl Default for ExpParams {
+    fn default() -> Self {
+        ExpParams {
+            seed: 42,
+            n_keys: 100_000,
+            value_size: 64,
+            clients: 4,
+            concurrency: 1,
+            replicas: 3,
+            meta_bufs: None,
+            inplace: true,
+            warmup_ops: 50_000,
+            measure_ops: 100_000,
+            cache_entries: None,
+        }
+    }
+}
+
+impl ExpParams {
+    /// Scales warm-up/measurement to the paper's 1 M + 1 M when `--full`.
+    pub fn apply_cli(mut self) -> Self {
+        if std::env::args().any(|a| a == "--full") {
+            self.warmup_ops = 1_000_000;
+            self.measure_ops = 1_000_000;
+        }
+        self
+    }
+
+    fn cluster_config(&self, sys: System) -> ClusterConfig {
+        let base = ClusterConfig {
+            replicas: self.replicas,
+            value_size: self.value_size,
+            max_clients: self.clients.max(1),
+            meta_bufs: self.meta_bufs.unwrap_or(self.clients.max(1)),
+            inplace: self.inplace,
+            ..Default::default()
+        };
+        match sys {
+            System::Raw => ClusterConfig {
+                replicas: 1,
+                meta_bufs: 1,
+                ..base
+            },
+            System::DmAbd => ClusterConfig {
+                inplace: false,
+                meta_bufs: 1,
+                ..base
+            },
+            _ => base,
+        }
+    }
+
+    /// The YCSB workload object for this experiment.
+    pub fn workload(&self, spec: WorkloadSpec) -> Workload {
+        Workload::ycsb(spec, self.n_keys, self.value_size)
+    }
+
+    /// The runner configuration for this experiment.
+    pub fn run_config(&self) -> RunConfig {
+        RunConfig {
+            warmup_ops: self.warmup_ops,
+            measure_ops: self.measure_ops,
+            concurrency: self.concurrency,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully built system under test.
+pub enum Testbed {
+    /// RAW / SWARM-KV / DM-ABD share the [`Cluster`] substrate.
+    Cluster {
+        /// The cluster.
+        cluster: Cluster,
+        /// One client handle per client thread.
+        clients: Vec<Rc<KvClient>>,
+    },
+    /// FUSEE has its own substrate.
+    Fusee {
+        /// The cluster.
+        cluster: FuseeCluster,
+        /// One client handle per client thread.
+        clients: Vec<Rc<FuseeKv>>,
+    },
+}
+
+/// Builds (and bulk-loads) one system under test.
+pub fn build(sim: &Sim, sys: System, p: &ExpParams) -> Testbed {
+    let wl = p.workload(WorkloadSpec::C);
+    match sys {
+        System::Fusee => {
+            let cluster = FuseeCluster::new(
+                sim,
+                swarm_kv::FuseeConfig {
+                    value_size: p.value_size,
+                    ..Default::default()
+                },
+            );
+            cluster.load_keys(p.n_keys, |k| wl.value_for(k, 0));
+            let cache = p.cache_entries.unwrap_or(usize::MAX / 2);
+            let clients: Vec<Rc<FuseeKv>> = (0..p.clients)
+                .map(|i| FuseeKv::new(&cluster, i, cache))
+                .collect();
+            apply_hyperthreading(p.clients, clients.iter().map(|c| c.endpoint()));
+            Testbed::Fusee { cluster, clients }
+        }
+        _ => {
+            let proto = match sys {
+                System::Raw => Proto::Raw,
+                System::DmAbd => Proto::Abd,
+                _ => Proto::SafeGuess,
+            };
+            let cluster = Cluster::new(sim, p.cluster_config(sys));
+            cluster.load_keys(p.n_keys, |k| wl.value_for(k, 0));
+            let cfg = KvClientConfig {
+                cache_entries: p.cache_entries.unwrap_or(usize::MAX / 2),
+            };
+            let clients: Vec<Rc<KvClient>> = (0..p.clients)
+                .map(|i| KvClient::new(&cluster, proto, i, cfg.clone()))
+                .collect();
+            apply_hyperthreading(p.clients, clients.iter().map(|c| c.endpoint()));
+            Testbed::Cluster { cluster, clients }
+        }
+    }
+}
+
+/// The testbed has 32 physical client cores (Table 1: 4 servers with
+/// 2 x 8c/16t); beyond 32 clients, threads share cores via hyperthreading
+/// and per-thread CPU work slows down (§7.3).
+fn apply_hyperthreading(n: usize, endpoints: impl Iterator<Item = Rc<swarm_fabric::Endpoint>>) {
+    if n > 32 {
+        for ep in endpoints {
+            ep.set_cpu_scale(1.5);
+        }
+    }
+}
+
+/// Builds, runs the workload, and returns the stats (plus the sim and the
+/// testbed for resource inspection).
+pub fn run_system(
+    seed: u64,
+    sys: System,
+    p: &ExpParams,
+    spec: WorkloadSpec,
+    tweak: impl FnOnce(&mut RunConfig),
+) -> (RunStats, Sim, Testbed) {
+    let sim = Sim::new(seed);
+    let bed = build(&sim, sys, p);
+    let mut rc = p.run_config();
+    tweak(&mut rc);
+    let wl = p.workload(spec);
+    let stats = match &bed {
+        Testbed::Cluster { clients, .. } => run_workload(&sim, clients, &wl, &rc),
+        Testbed::Fusee { clients, .. } => run_workload(&sim, clients, &wl, &rc),
+    };
+    (stats, sim, bed)
+}
+
+/// Prints a latency summary and writes its CDF as a CSV series.
+pub fn report_cdf(exp: &str, series_name: &str, hist: &mut Histogram, points: usize) {
+    if hist.is_empty() {
+        println!("  {series_name}: (no samples)");
+        return;
+    }
+    println!(
+        "  {series_name}: median={:.2}us p1={:.2}us p99={:.2}us mean={:.2}us n={}",
+        hist.median() as f64 / 1e3,
+        hist.percentile(1.0) as f64 / 1e3,
+        hist.percentile(99.0) as f64 / 1e3,
+        hist.mean() / 1e3,
+        hist.len(),
+    );
+    let rows: Vec<String> = hist
+        .cdf(points)
+        .into_iter()
+        .map(|(ns, pct)| format!("{:.3},{:.2}", ns as f64 / 1e3, pct))
+        .collect();
+    write_csv(exp, series_name, "latency_us,percentile", &rows);
+}
+
+/// Writes experiment output under `target/experiments/<exp>/<series>.csv`.
+pub fn write_csv(exp: &str, series: &str, header: &str, rows: &[String]) {
+    let dir = std::path::Path::new("target/experiments").join(exp);
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("warn: cannot create {dir:?}: {e}");
+        return;
+    }
+    let path = dir.join(format!("{}.csv", series.replace([' ', '/'], "_")));
+    match std::fs::File::create(&path) {
+        Ok(mut f) => {
+            let _ = writeln!(f, "{header}");
+            for r in rows {
+                let _ = writeln!(f, "{r}");
+            }
+        }
+        Err(e) => eprintln!("warn: cannot write {path:?}: {e}"),
+    }
+}
+
+/// Median get/update latency in µs for quick tables.
+pub fn medians(stats: &RunStats) -> (f64, f64) {
+    let m = |mut h: Histogram| {
+        if h.is_empty() {
+            f64::NAN
+        } else {
+            h.median() as f64 / 1e3
+        }
+    };
+    (m(stats.lat(OpType::Get)), m(stats.lat(OpType::Update)))
+}

@@ -1,0 +1,640 @@
+//! In-n-Out (§4): a per-node max register for large values, with
+//! single-roundtrip conditional updates and no compute at the memory node.
+//!
+//! Memory layout of one register on one node (Figure 3, extended with the
+//! §4.4 contention-reduction metadata array):
+//!
+//! ```text
+//! meta_addr:    [ k × 8 B metadata words ]   // (stamp:48 | oop_slot:16)
+//!               [ value_cap bytes in-place ] // contiguous with metadata so
+//!               [ 8 B hash               ]   // one READ fetches everything
+//! oop_addr:     [ slots × (8 B meta | 8 B hash | value_cap bytes) ]
+//! ```
+//!
+//! A write fills a fresh out-of-place slot and MAXes its metadata word in a
+//! single pipelined roundtrip (Algorithm 5); the MAX is emulated with CAS
+//! and a client-side cache of the word (Algorithm 7). Readers fetch the
+//! metadata array + in-place data in one roundtrip and validate the in-place
+//! bytes against the hash, falling back to the out-of-place buffer only when
+//! validation fails (Algorithm 6).
+
+use std::cell::Cell;
+use std::rc::Rc;
+
+use swarm_fabric::{Endpoint, NodeId, Op};
+
+use crate::hash::innout_hash;
+use crate::stamp::Stamp;
+use crate::traits::{ReplicaClient, Rounds, Snapshot};
+use crate::value::MVal;
+
+/// Addresses and shape of one In-n-Out register on one node.
+#[derive(Debug, Clone)]
+pub struct InnOutLayout {
+    /// Node hosting this replica.
+    pub node: NodeId,
+    /// Base of the metadata array (the in-place region follows contiguously).
+    pub meta_addr: u64,
+    /// Number of 8 B metadata words (`k` of §4.4; 1 = the basic scheme).
+    pub meta_bufs: usize,
+    /// Fixed value size of this register in bytes.
+    pub value_cap: usize,
+    /// Base of the out-of-place slot array.
+    pub oop_addr: u64,
+    /// Total out-of-place slots (partitioned evenly among writers).
+    pub oop_slots: usize,
+    /// Maximum number of writer clients (determines slot partitioning).
+    pub max_writers: usize,
+}
+
+/// Per-slot header: embedded metadata word + hash.
+const OOP_HEADER: usize = 16;
+
+impl InnOutLayout {
+    /// Bytes of node memory needed for the metadata + in-place region.
+    pub fn inplace_region_len(meta_bufs: usize, value_cap: usize) -> u64 {
+        (meta_bufs * 8 + value_cap + 8) as u64
+    }
+
+    /// Bytes of node memory needed for the out-of-place region.
+    pub fn oop_region_len(oop_slots: usize, value_cap: usize) -> u64 {
+        (oop_slots * (OOP_HEADER + value_cap)) as u64
+    }
+
+    /// Allocates a register of this shape on `node` of `fabric`.
+    pub fn allocate(
+        fabric: &swarm_fabric::Fabric,
+        node: NodeId,
+        meta_bufs: usize,
+        value_cap: usize,
+        oop_slots: usize,
+        max_writers: usize,
+    ) -> InnOutLayout {
+        assert!(oop_slots >= max_writers, "need >= 1 slot per writer");
+        assert!(oop_slots <= 1 << 16, "slot index must fit 16 bits");
+        let n = fabric.node(node);
+        let meta_addr = n.alloc(Self::inplace_region_len(meta_bufs, value_cap), 8);
+        let oop_addr = n.alloc(Self::oop_region_len(oop_slots, value_cap), 8);
+        InnOutLayout {
+            node,
+            meta_addr,
+            meta_bufs,
+            value_cap,
+            oop_addr,
+            oop_slots,
+            max_writers,
+        }
+    }
+
+    fn meta_word_addr(&self, buf: usize) -> u64 {
+        self.meta_addr + (buf * 8) as u64
+    }
+
+    fn inplace_addr(&self) -> u64 {
+        self.meta_addr + (self.meta_bufs * 8) as u64
+    }
+
+    fn read_len(&self) -> usize {
+        self.meta_bufs * 8 + self.value_cap + 8
+    }
+
+    fn slot_addr(&self, slot: u16) -> u64 {
+        self.oop_addr + (slot as usize * (OOP_HEADER + self.value_cap)) as u64
+    }
+}
+
+/// Packs a stamp and slot into the 8 B metadata word.
+fn meta_word(stamp: Stamp, slot: u16) -> u64 {
+    (stamp.pack48() << 16) | slot as u64
+}
+
+fn word_stamp(word: u64) -> Stamp {
+    Stamp::unpack48(word >> 16)
+}
+
+fn word_slot(word: u64) -> u16 {
+    (word & 0xffff) as u16
+}
+
+/// Client handle to one In-n-Out register replica.
+pub struct InnOutReplica {
+    inner: Rc<InnOutInner>,
+}
+
+impl Clone for InnOutReplica {
+    fn clone(&self) -> Self {
+        InnOutReplica {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+struct InnOutInner {
+    ep: Rc<Endpoint>,
+    layout: InnOutLayout,
+    /// Writer identity: selects the metadata buffer and slot partition.
+    writer: usize,
+    /// Whether `VERIFIED` writes also lazily store in-place data here (§6:
+    /// only at one hash-designated replica per key).
+    inplace_enabled: bool,
+    /// Cached value of *our* metadata word (Algorithm 7's one-RTT trick).
+    cached_meta: Cell<u64>,
+    /// Next slot in this writer's partition, used round-robin.
+    next_slot: Cell<u16>,
+    rounds: Rounds,
+    /// Statistics: in-place hits / out-of-place fallbacks (Fig. 9/12).
+    inplace_hits: Cell<u64>,
+    oop_fallbacks: Cell<u64>,
+}
+
+impl InnOutReplica {
+    /// Creates a client handle for `writer` (0-based, `< max_writers`).
+    pub fn new(
+        ep: Rc<Endpoint>,
+        layout: InnOutLayout,
+        writer: usize,
+        inplace_enabled: bool,
+        rounds: Rounds,
+    ) -> Self {
+        assert!(writer < layout.max_writers);
+        InnOutReplica {
+            inner: Rc::new(InnOutInner {
+                ep,
+                layout,
+                writer,
+                inplace_enabled,
+                cached_meta: Cell::new(0),
+                next_slot: Cell::new(0),
+                rounds,
+                inplace_hits: Cell::new(0),
+                oop_fallbacks: Cell::new(0),
+            }),
+        }
+    }
+
+    /// `(in-place hits, out-of-place fallbacks)` observed by this handle.
+    pub fn read_stats(&self) -> (u64, u64) {
+        (
+            self.inner.inplace_hits.get(),
+            self.inner.oop_fallbacks.get(),
+        )
+    }
+
+    fn metadata_buf(&self) -> usize {
+        self.inner.writer % self.inner.layout.meta_bufs
+    }
+
+    fn alloc_slot(&self) -> u16 {
+        let l = &self.inner.layout;
+        let per_writer = (l.oop_slots / l.max_writers) as u16;
+        let local = self.inner.next_slot.get();
+        self.inner.next_slot.set((local + 1) % per_writer);
+        self.inner.writer as u16 * per_writer + local
+    }
+
+    fn encode_oop(&self, word: u64, value: &[u8]) -> Vec<u8> {
+        let l = &self.inner.layout;
+        assert_eq!(value.len(), l.value_cap, "fixed-size register");
+        let mut buf = Vec::with_capacity(OOP_HEADER + l.value_cap);
+        buf.extend_from_slice(&word.to_le_bytes());
+        buf.extend_from_slice(&innout_hash(word, value).to_le_bytes());
+        buf.extend_from_slice(value);
+        buf
+    }
+
+    /// Applies `MAX(meta_word_addr, word)` given that the out-of-place data
+    /// for `word` was already pipelined in front of the first CAS.
+    ///
+    /// `expected` must be the exact comparand the first (pipelined) CAS used
+    /// on the wire — *not* a fresh read of `cached_meta`, which concurrent
+    /// reads of the same client may have advanced in the meantime (that
+    /// would fake a "CAS applied" and lose the write).
+    async fn max_meta(&self, first_cas_prev: u64, mut expected: u64, word: u64) {
+        let inner = &self.inner;
+        let addr = inner.layout.meta_word_addr(self.metadata_buf());
+        let mut prev = first_cas_prev;
+        // Algorithm 7: retry while the stored word is still below ours.
+        while prev < word {
+            if prev == expected {
+                // Our CAS applied.
+                inner.cached_meta.set(inner.cached_meta.get().max(word));
+                return;
+            }
+            expected = prev;
+            inner.rounds.bump();
+            match inner.ep.cas(inner.layout.node, addr, expected, word).await {
+                Some(p) => prev = p,
+                None => std::future::pending().await,
+            }
+        }
+        // Someone else already stored a higher word.
+        inner.cached_meta.set(inner.cached_meta.get().max(prev));
+    }
+
+    /// Lazily writes the in-place copy (Algorithm 5 line 7): fire-and-forget.
+    fn write_inplace_bg(&self, word: u64, value: &Rc<Vec<u8>>) {
+        let l = &self.inner.layout;
+        let mut buf = Vec::with_capacity(l.value_cap + 8);
+        buf.extend_from_slice(value);
+        buf.extend_from_slice(&innout_hash(word, value).to_le_bytes());
+        drop(self.inner.ep.submit(
+            l.node,
+            vec![Op::Write {
+                addr: l.inplace_addr(),
+                data: buf,
+            }],
+        ));
+    }
+
+    fn parse_region(&self, bytes: &[u8]) -> (u64, Vec<u8>, u64) {
+        let l = &self.inner.layout;
+        let mut max_word = 0u64;
+        for b in 0..l.meta_bufs {
+            let w = u64::from_le_bytes(bytes[b * 8..b * 8 + 8].try_into().unwrap());
+            max_word = max_word.max(w);
+        }
+        let v_start = l.meta_bufs * 8;
+        if bytes.len() < v_start + l.value_cap + 8 {
+            // Metadata-only read (no in-place data at this replica): report
+            // an unvalidatable value so callers fall back to the pointer.
+            return (max_word, Vec::new(), 0);
+        }
+        let value = bytes[v_start..v_start + l.value_cap].to_vec();
+        let hash = u64::from_le_bytes(
+            bytes[v_start + l.value_cap..v_start + l.value_cap + 8]
+                .try_into()
+                .unwrap(),
+        );
+        (max_word, value, hash)
+    }
+
+    /// Reads the metadata array — plus the in-place data if this replica is
+    /// designated to hold it (§6: in-place data lives at one replica only,
+    /// so reads of the others move just `k × 8` bytes).
+    async fn read_region(&self) -> (u64, Vec<u8>, u64) {
+        let inner = &self.inner;
+        let l = &inner.layout;
+        let len = if inner.inplace_enabled {
+            l.read_len()
+        } else {
+            l.meta_bufs * 8
+        };
+        match inner
+            .ep
+            .submit(
+                l.node,
+                vec![Op::Read {
+                    addr: l.meta_addr,
+                    len,
+                }],
+            )
+            .await
+        {
+            Some(mut r) => {
+                let bytes = r.remove(0).into_read();
+                // Reads refresh the writer's metadata cache for free — with
+                // *our own* buffer's word (the CAS comparand), never the
+                // array maximum, which may belong to another writer's
+                // buffer and would never match ours.
+                let own = self.metadata_buf();
+                let own_word =
+                    u64::from_le_bytes(bytes[own * 8..own * 8 + 8].try_into().unwrap());
+                inner
+                    .cached_meta
+                    .set(inner.cached_meta.get().max(own_word));
+                self.parse_region(&bytes)
+            }
+            None => std::future::pending().await,
+        }
+    }
+
+    /// Chases the out-of-place pointer of `word`, retrying through fresh
+    /// metadata if the slot was recycled or torn mid-write. Returns a value
+    /// whose stamp is `>=` `word`'s stamp (max-register semantics).
+    async fn chase(&self, mut word: u64) -> MVal {
+        let inner = &self.inner;
+        let l = &inner.layout;
+        loop {
+            inner.rounds.bump();
+            inner.oop_fallbacks.set(inner.oop_fallbacks.get() + 1);
+            let bytes = match inner.ep.read(
+                l.node,
+                l.slot_addr(word_slot(word)),
+                OOP_HEADER + l.value_cap,
+            )
+            .await
+            {
+                Some(b) => b,
+                None => std::future::pending().await,
+            };
+            let emb_word = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+            let emb_hash = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+            let value = &bytes[OOP_HEADER..];
+            if emb_word >= word && innout_hash(emb_word, value) == emb_hash {
+                // Valid (possibly newer, if the slot was recycled by a later
+                // write of the same writer — still a legal max-register
+                // result).
+                return MVal::new(word_stamp(emb_word), value.to_vec());
+            }
+            // Torn or stale slot: the metadata must have moved on; re-read
+            // it and chase the new maximum.
+            let (new_word, value, hash) = self.read_region().await;
+            debug_assert!(new_word >= word);
+            if word_stamp(new_word).is_tombstone() {
+                return MVal::new(word_stamp(new_word), Vec::new());
+            }
+            if new_word != 0
+                && value.len() == l.value_cap
+                && innout_hash(new_word, &value) == hash
+            {
+                return MVal::new(word_stamp(new_word), value);
+            }
+            word = new_word;
+        }
+    }
+}
+
+impl ReplicaClient for InnOutReplica {
+    /// Algorithm 5: one pipelined roundtrip writes the out-of-place buffer
+    /// and MAXes the metadata word; the in-place copy is written lazily.
+    fn write(self, v: MVal) -> impl std::future::Future<Output = ()> + 'static {
+        async move {
+            let inner = &self.inner;
+            let l = &inner.layout;
+            if v.stamp.is_tombstone() {
+                // Deletes carry no payload: MAX the metadata word to the
+                // all-ones tombstone in one CAS (§5.3.2).
+                let word = meta_word(v.stamp, u16::MAX);
+                let expected = inner.cached_meta.get();
+                if expected >= word {
+                    return;
+                }
+                let prev = match inner
+                    .ep
+                    .cas(l.node, l.meta_word_addr(self.metadata_buf()), expected, word)
+                    .await
+                {
+                    Some(p) => p,
+                    None => std::future::pending().await,
+                };
+                self.max_meta(prev, expected, word).await;
+                return;
+            }
+            let slot = self.alloc_slot();
+            let word = meta_word(v.stamp, slot);
+            let expected = inner.cached_meta.get();
+            if expected >= word {
+                // Already superseded at this replica: MAX is a no-op.
+                return;
+            }
+            let series = vec![
+                Op::Write {
+                    addr: l.slot_addr(slot),
+                    data: self.encode_oop(word, &v.value),
+                },
+                Op::Cas {
+                    addr: l.meta_word_addr(self.metadata_buf()),
+                    expected,
+                    new: word,
+                },
+            ];
+            let res = match inner.ep.submit(l.node, series).await {
+                Some(r) => r,
+                None => std::future::pending().await,
+            };
+            let prev = res[1].clone().into_cas();
+            self.max_meta(prev, expected, word).await;
+            if v.stamp.verified && inner.inplace_enabled {
+                self.write_inplace_bg(word, &v.value);
+            }
+        }
+    }
+
+    /// Algorithm 6 + §4.4: one roundtrip fetches the metadata array and the
+    /// in-place data; hash validation decides between returning in-place
+    /// data and reporting stamp-only (the reliable layer may then `fetch`).
+    fn read(self) -> impl std::future::Future<Output = Snapshot> + 'static {
+        async move {
+            let (word, value, hash) = self.read_region().await;
+            if word == 0 {
+                return Snapshot {
+                    stamp: Stamp::ZERO,
+                    token: 0,
+                    value: Some(Rc::new(Vec::new())),
+                };
+            }
+            if word_stamp(word).is_tombstone() {
+                return Snapshot {
+                    stamp: word_stamp(word),
+                    token: word,
+                    value: Some(Rc::new(Vec::new())),
+                };
+            }
+            if value.len() == self.inner.layout.value_cap && innout_hash(word, &value) == hash {
+                self.inner.inplace_hits.set(self.inner.inplace_hits.get() + 1);
+                Snapshot {
+                    stamp: word_stamp(word),
+                    token: word,
+                    value: Some(Rc::new(value)),
+                }
+            } else {
+                Snapshot {
+                    stamp: word_stamp(word),
+                    token: word,
+                    value: None,
+                }
+            }
+        }
+    }
+
+    fn fetch(self, token: u64) -> impl std::future::Future<Output = MVal> + 'static {
+        async move {
+            if token == 0 {
+                return MVal::initial();
+            }
+            if word_stamp(token).is_tombstone() {
+                return MVal::new(word_stamp(token), Vec::new());
+            }
+            self.chase(token).await
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use swarm_fabric::{Fabric, FabricConfig};
+    use swarm_sim::Sim;
+
+    fn setup(seed: u64, meta_bufs: usize, cap: usize) -> (Sim, Fabric, InnOutLayout) {
+        let sim = Sim::new(seed);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 1);
+        let layout = InnOutLayout::allocate(&fabric, NodeId(0), meta_bufs, cap, 64, 8);
+        (sim, fabric, layout)
+    }
+
+    fn replica(fabric: &Fabric, layout: &InnOutLayout, writer: usize) -> InnOutReplica {
+        InnOutReplica::new(
+            Rc::new(fabric.endpoint()),
+            layout.clone(),
+            writer,
+            true,
+            Rounds::new(),
+        )
+    }
+
+    #[test]
+    fn word_packing_orders_like_stamps() {
+        let a = meta_word(Stamp::guessed(1, 0), 9);
+        let b = meta_word(Stamp::verified(1, 0), 3);
+        let c = meta_word(Stamp::guessed(2, 0), 0);
+        assert!(a < b && b < c);
+        assert_eq!(word_stamp(b), Stamp::verified(1, 0));
+        assert_eq!(word_slot(a), 9);
+    }
+
+    #[test]
+    fn empty_register_reads_initial() {
+        let (sim, fabric, layout) = setup(1, 1, 64);
+        let r = replica(&fabric, &layout, 0);
+        let snap = sim.block_on(async move { r.read().await });
+        assert_eq!(snap.stamp, Stamp::ZERO);
+        assert_eq!(*snap.value.unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn guessed_write_reads_back_via_oop() {
+        // GUESSED writes skip the lazy in-place copy, so the first read
+        // reports stamp-only and fetch() chases out of place.
+        let (sim, fabric, layout) = setup(2, 1, 64);
+        let w = replica(&fabric, &layout, 0);
+        let r = replica(&fabric, &layout, 1);
+        let v = MVal::new(Stamp::guessed(5, 0), vec![7u8; 64]);
+        let got = sim.block_on(async move {
+            w.write(v).await;
+            let snap = r.clone().read().await;
+            assert!(snap.value.is_none(), "no in-place copy for GUESSED");
+            r.fetch(snap.token).await
+        });
+        assert_eq!(got.stamp, Stamp::guessed(5, 0));
+        assert_eq!(*got.value, vec![7u8; 64]);
+    }
+
+    #[test]
+    fn verified_write_enables_inplace_hit() {
+        let (sim, fabric, layout) = setup(3, 1, 64);
+        let w = replica(&fabric, &layout, 0);
+        let r = replica(&fabric, &layout, 1);
+        let sim2 = sim.clone();
+        let snap = sim.block_on(async move {
+            w.write(MVal::new(Stamp::verified(5, 0), vec![9u8; 64])).await;
+            // Let the lazy in-place write land.
+            sim2.sleep_ns(10_000).await;
+            r.read().await
+        });
+        assert_eq!(snap.stamp, Stamp::verified(5, 0));
+        assert_eq!(*snap.value.unwrap(), vec![9u8; 64]);
+    }
+
+    #[test]
+    fn max_semantics_old_write_does_not_regress() {
+        let (sim, fabric, layout) = setup(4, 1, 8);
+        let w0 = replica(&fabric, &layout, 0);
+        let w1 = replica(&fabric, &layout, 1);
+        let r = replica(&fabric, &layout, 2);
+        let got = sim.block_on(async move {
+            w0.write(MVal::new(Stamp::verified(10, 0), vec![1u8; 8])).await;
+            w1.write(MVal::new(Stamp::verified(4, 1), vec![2u8; 8])).await;
+            let snap = r.clone().read().await;
+            r.fetch(snap.token).await
+        });
+        assert_eq!(got.stamp, Stamp::verified(10, 0));
+        assert_eq!(*got.value, vec![1u8; 8]);
+    }
+
+    #[test]
+    fn stale_cache_costs_extra_cas_rounds() {
+        // Two writers share one metadata buffer: the second write's cached
+        // expected value is stale, forcing a CAS retry (Fig. 13's story).
+        let (sim, fabric, layout) = setup(5, 1, 8);
+        let w0 = replica(&fabric, &layout, 0);
+        let rounds1 = Rounds::new();
+        let w1 = InnOutReplica::new(
+            Rc::new(fabric.endpoint()),
+            layout.clone(),
+            1,
+            true,
+            rounds1.clone(),
+        );
+        sim.block_on(async move {
+            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8])).await;
+            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8])).await;
+        });
+        assert!(rounds1.get() >= 1, "stale-cache CAS retry not counted");
+    }
+
+    #[test]
+    fn separate_meta_buffers_avoid_cas_retries() {
+        let (sim, fabric, layout) = setup(6, 4, 8);
+        let w0 = replica(&fabric, &layout, 0);
+        let rounds1 = Rounds::new();
+        let w1 = InnOutReplica::new(
+            Rc::new(fabric.endpoint()),
+            layout.clone(),
+            1,
+            true,
+            rounds1.clone(),
+        );
+        let r = replica(&fabric, &layout, 2);
+        let got = sim.block_on(async move {
+            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8])).await;
+            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8])).await;
+            let snap = r.clone().read().await;
+            r.fetch(snap.token).await
+        });
+        assert_eq!(rounds1.get(), 0, "dedicated buffer should not retry");
+        assert_eq!(got.stamp, Stamp::verified(7, 1));
+    }
+
+    #[test]
+    fn stale_inplace_from_older_write_fails_validation() {
+        // Writer A (verified) populates in-place; writer B (guessed, higher
+        // stamp) supersedes it. Readers must not return A's bytes for B's
+        // stamp: validation fails and the reliable layer fetches.
+        let (sim, fabric, layout) = setup(7, 2, 16);
+        let a = replica(&fabric, &layout, 0);
+        let b = replica(&fabric, &layout, 1);
+        let r = replica(&fabric, &layout, 2);
+        let sim2 = sim.clone();
+        let (snap, fetched) = sim.block_on(async move {
+            a.write(MVal::new(Stamp::verified(5, 0), vec![0xA; 16])).await;
+            sim2.sleep_ns(10_000).await;
+            b.write(MVal::new(Stamp::guessed(9, 1), vec![0xB; 16])).await;
+            let snap = r.clone().read().await;
+            let f = r.fetch(snap.token).await;
+            (snap, f)
+        });
+        assert_eq!(snap.stamp, Stamp::guessed(9, 1));
+        assert!(snap.value.is_none(), "returned stale in-place bytes");
+        assert_eq!(*fetched.value, vec![0xB; 16]);
+    }
+
+    #[test]
+    fn slot_ring_wraps_per_writer() {
+        let (sim, fabric, layout) = setup(8, 1, 8);
+        let w = replica(&fabric, &layout, 3);
+        // 64 slots / 8 writers = 8 per writer; 20 writes wrap the ring.
+        let r = replica(&fabric, &layout, 0);
+        let got = sim.block_on(async move {
+            for i in 1..=20u64 {
+                w.clone()
+                    .write(MVal::new(Stamp::verified(i, 3), vec![i as u8; 8]))
+                    .await;
+            }
+            let snap = r.clone().read().await;
+            r.fetch(snap.token).await
+        });
+        assert_eq!(got.stamp, Stamp::verified(20, 3));
+        assert_eq!(*got.value, vec![20u8; 8]);
+    }
+}

@@ -1,0 +1,90 @@
+//! SWARM's core protocols (SOSP '24): Safe-Guess, In-n-Out, timestamp locks,
+//! reliable max registers, and the ABD baseline.
+//!
+//! The stack, bottom-up:
+//!
+//! 1. [`InnOutReplica`] — a per-node max register for large values with
+//!    single-roundtrip conditional updates and *no compute at the memory
+//!    node* (§4: in-place reads validated by hash, out-of-place fallback,
+//!    CAS-emulated MAX, per-writer metadata buffers).
+//! 2. [`ReliableMaxReg`] — majority replication of fallible max registers
+//!    (Appendix A), with the deployment optimizations of §6 (optimistic
+//!    majority quorums, widen-on-timeout, client-side caching).
+//! 3. [`TsLock`] — the wait-free timestamp lock arbitrating between a writer
+//!    re-executing a possibly-stale guess and readers returning it (§3.3).
+//! 4. [`SafeGuess`] — the replication protocol: linearizable, wait-free
+//!    reads/writes in one roundtrip in the common case (§3). [`Abd`] is the
+//!    classic two-phase-write baseline (§2.3).
+//!
+//! `SafeGuess` is generic over any [`MaxRegister`]; production composes it
+//! with `ReliableMaxReg<InnOutReplica>` (that composition *is* SWARM), while
+//! tests also run it over idealized [`SimReplica`]s to isolate protocol
+//! logic from In-n-Out.
+//!
+//! # Examples
+//!
+//! A single SWARM register over a 3-node fabric:
+//!
+//! ```
+//! use std::rc::Rc;
+//! use swarm_sim::{Sim, GuessClock};
+//! use swarm_fabric::{Fabric, FabricConfig};
+//! use swarm_core::{
+//!     InnOutLayout, InnOutReplica, MaxRegister, NodeHealth, QuorumConfig,
+//!     ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock,
+//! };
+//!
+//! let sim = Sim::new(7);
+//! let fabric = Fabric::new(&sim, FabricConfig::default(), 3);
+//! let ep = Rc::new(fabric.endpoint());
+//! let health = NodeHealth::new(3);
+//! let rounds = Rounds::new();
+//!
+//! // One In-n-Out replica per node (in-place data at node 0 only).
+//! let replicas: Vec<InnOutReplica> = fabric
+//!     .node_ids()
+//!     .into_iter()
+//!     .map(|n| {
+//!         let layout = InnOutLayout::allocate(&fabric, n, 1, 16, 8, 8);
+//!         InnOutReplica::new(Rc::clone(&ep), layout, 0, n.0 == 0, rounds.clone())
+//!     })
+//!     .collect();
+//! let m = ReliableMaxReg::new(&sim, replicas, vec![0, 1, 2], 0, Rc::clone(&health),
+//!                             QuorumConfig::default(), rounds.clone());
+//!
+//! // Timestamp locks: one 8 B CAS word per node, per writer (1 writer here).
+//! let words = fabric.node_ids().iter()
+//!     .map(|&n| (n, fabric.node(n).alloc(8, 8))).collect();
+//! let tsl = Rc::new(vec![TsLock::new(&sim, Rc::clone(&ep), words,
+//!                                    Rc::clone(&health), QuorumConfig::default(),
+//!                                    rounds.clone())]);
+//! let guesser = Rc::new(TsGuesser::new(Rc::new(GuessClock::perfect(&sim)), 0));
+//! let reg = SafeGuess::new(m, tsl, guesser, rounds);
+//!
+//! sim.block_on(async move {
+//!     reg.write(vec![42u8; 16]).await;
+//!     assert_eq!(reg.read_value().await, vec![42u8; 16]);
+//! });
+//! ```
+
+mod hash;
+mod innout;
+mod linearize;
+mod maxreg;
+mod safeguess;
+mod sim_replica;
+mod stamp;
+mod traits;
+mod tslock;
+mod value;
+
+pub use hash::{innout_hash, xxh64};
+pub use innout::{InnOutLayout, InnOutReplica};
+pub use linearize::{History, HistoryOp, OpKind};
+pub use maxreg::ReliableMaxReg;
+pub use safeguess::{Abd, ReadOutcome, ReadPath, SafeGuess, WritePath};
+pub use sim_replica::{SimReplica, SimReplicaState};
+pub use stamp::{Stamp, TsGuesser, I_MAX, TICK_NS};
+pub use traits::{MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds, Snapshot};
+pub use tslock::{LockMode, TsLock};
+pub use value::MVal;

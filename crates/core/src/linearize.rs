@@ -1,0 +1,213 @@
+//! Linearizability checking for register histories (Wing–Gong search).
+//!
+//! Used by the test suite to validate Safe-Guess and ABD executions recorded
+//! from the simulator against the atomic-register specification (the paper
+//! proves linearizability in Appendix C; we check it empirically on
+//! thousands of randomized schedules).
+//!
+//! The checker performs an exhaustive search over linearization points with
+//! memoization on `(set of completed ops, register value)`. Histories from
+//! protocol tests are small (tens of operations), where this is fast.
+
+use std::collections::HashSet;
+
+/// One completed operation in a concurrent history.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistoryOp {
+    /// Invocation (virtual) time.
+    pub invoke: u64,
+    /// Response (virtual) time; must be `>= invoke`.
+    pub ret: u64,
+    /// What the operation did.
+    pub kind: OpKind,
+}
+
+/// Register operation kinds. Values are `u64` tags (tests write unique
+/// values; `0` is the initial register value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `write(v)`.
+    Write(u64),
+    /// `read() -> v`.
+    Read(u64),
+}
+
+/// A recorded concurrent history.
+#[derive(Debug, Default, Clone)]
+pub struct History {
+    ops: Vec<HistoryOp>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one completed operation.
+    pub fn push(&mut self, invoke: u64, ret: u64, kind: OpKind) {
+        assert!(ret >= invoke, "response before invocation");
+        self.ops.push(HistoryOp { invoke, ret, kind });
+    }
+
+    /// Number of operations recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Checks the history against the atomic single-register spec with
+    /// initial value `0`.
+    ///
+    /// Returns `true` iff some linearization exists: a total order of all
+    /// operations that (a) respects real-time precedence (`a.ret <
+    /// b.invoke` implies `a` before `b`) and (b) is a legal sequential
+    /// register execution (every read returns the latest preceding write,
+    /// or `0`).
+    pub fn is_linearizable(&self) -> bool {
+        let n = self.ops.len();
+        if n == 0 {
+            return true;
+        }
+        assert!(n <= 64, "checker supports at most 64 operations");
+        // precede[i] = bitmask of ops that must come before op i.
+        let mut precede = vec![0u64; n];
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && self.ops[j].ret < self.ops[i].invoke {
+                    precede[i] |= 1 << j;
+                }
+            }
+        }
+        let mut visited: HashSet<(u64, u64)> = HashSet::new();
+        self.search(0, 0, &precede, &mut visited)
+    }
+
+    fn search(
+        &self,
+        done: u64,
+        value: u64,
+        precede: &[u64],
+        visited: &mut HashSet<(u64, u64)>,
+    ) -> bool {
+        let n = self.ops.len();
+        if done == (1u64 << n) - 1 {
+            return true;
+        }
+        if !visited.insert((done, value)) {
+            return false;
+        }
+        for i in 0..n {
+            let bit = 1u64 << i;
+            if done & bit != 0 || precede[i] & !done != 0 {
+                continue; // Already taken, or a predecessor is pending.
+            }
+            match self.ops[i].kind {
+                OpKind::Write(v) => {
+                    if self.search(done | bit, v, precede, visited) {
+                        return true;
+                    }
+                }
+                OpKind::Read(v) => {
+                    if v == value && self.search(done | bit, value, precede, visited) {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_history_is_linearizable() {
+        assert!(History::new().is_linearizable());
+    }
+
+    #[test]
+    fn sequential_history_is_linearizable() {
+        let mut h = History::new();
+        h.push(0, 1, OpKind::Write(1));
+        h.push(2, 3, OpKind::Read(1));
+        h.push(4, 5, OpKind::Write(2));
+        h.push(6, 7, OpKind::Read(2));
+        assert!(h.is_linearizable());
+    }
+
+    #[test]
+    fn stale_read_is_rejected() {
+        let mut h = History::new();
+        h.push(0, 1, OpKind::Write(1));
+        h.push(2, 3, OpKind::Read(0)); // Must see 1.
+        assert!(!h.is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_read_may_see_either_side() {
+        let mut h = History::new();
+        h.push(0, 10, OpKind::Write(1));
+        h.push(2, 4, OpKind::Read(0)); // Concurrent: old value OK.
+        assert!(h.is_linearizable());
+        let mut h2 = History::new();
+        h2.push(0, 10, OpKind::Write(1));
+        h2.push(2, 4, OpKind::Read(1)); // Concurrent: new value OK.
+        assert!(h2.is_linearizable());
+    }
+
+    #[test]
+    fn oscillating_reads_are_rejected() {
+        // The exact anomaly Safe-Guess's slow path prevents (§2.4): a value
+        // written "twice" lets reads oscillate new -> old -> new.
+        let mut h = History::new();
+        h.push(0, 1, OpKind::Write(1));
+        h.push(2, 20, OpKind::Write(2));
+        h.push(3, 4, OpKind::Read(2));
+        h.push(5, 6, OpKind::Read(1)); // Back to the old value: illegal.
+        h.push(7, 8, OpKind::Read(2));
+        assert!(!h.is_linearizable());
+    }
+
+    #[test]
+    fn read_inversion_is_rejected() {
+        // Two sequential reads observing writes in opposite order.
+        let mut h = History::new();
+        h.push(0, 100, OpKind::Write(1));
+        h.push(0, 100, OpKind::Write(2));
+        h.push(10, 20, OpKind::Read(1));
+        h.push(30, 40, OpKind::Read(2));
+        assert!(h.is_linearizable());
+        let mut h2 = History::new();
+        h2.push(0, 100, OpKind::Write(1));
+        h2.push(0, 100, OpKind::Write(2));
+        h2.push(10, 20, OpKind::Read(1));
+        h2.push(30, 40, OpKind::Read(2));
+        h2.push(50, 60, OpKind::Read(1)); // 2 then 1 again: illegal.
+        assert!(!h2.is_linearizable());
+    }
+
+    #[test]
+    fn real_time_order_is_enforced_between_writes() {
+        let mut h = History::new();
+        h.push(0, 1, OpKind::Write(1));
+        h.push(2, 3, OpKind::Write(2)); // strictly after write(1)
+        h.push(4, 5, OpKind::Read(1)); // must see 2
+        assert!(!h.is_linearizable());
+    }
+
+    #[test]
+    fn concurrent_writes_allow_both_orders() {
+        let mut h = History::new();
+        h.push(0, 10, OpKind::Write(1));
+        h.push(0, 10, OpKind::Write(2));
+        h.push(12, 13, OpKind::Read(1));
+        assert!(h.is_linearizable());
+    }
+}

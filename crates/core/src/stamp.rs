@@ -1,0 +1,244 @@
+//! Logical timestamps ("stamps") ordering SWARM writes.
+//!
+//! A stamp is the paper's 3-part ordering key: the guessed/fresh timestamp
+//! `i`, the writer's thread id breaking ties (§2.3), and the
+//! `GUESSED`/`VERIFIED` flag, with `VERIFIED > GUESSED` at equal `(i, tid)`
+//! (§3.2). Stamps pack into 48 bits so that, together with a 16-bit
+//! out-of-place slot index, the whole In-n-Out metadata word fits the 8 B
+//! atomic CAS the disaggregated memory supports (§4.3) — and numeric order of
+//! the packed word equals the logical order of the stamp.
+
+/// Number of bits for the timestamp counter `i`.
+pub const I_BITS: u32 = 39;
+/// Number of bits for the thread id.
+pub const TID_BITS: u32 = 8;
+/// Maximum representable `i` (also the tombstone value, §5.3.2).
+pub const I_MAX: u64 = (1 << I_BITS) - 1;
+/// Maximum thread id (255).
+pub const TID_MAX: u8 = u8::MAX;
+
+/// Nanoseconds per timestamp tick used by clock-based guessing: `i`
+/// advances every 64 ns, giving 39 bits ≈ 9.7 hours of unique guesses.
+pub const TICK_NS: u64 = 64;
+
+/// A logical write timestamp: `(i, tid, verified)`, ordered
+/// lexicographically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Stamp {
+    /// Monotonic timestamp counter (clock-guessed or `max.i + 1`).
+    pub i: u64,
+    /// Writer thread id (tie-breaker).
+    pub tid: u8,
+    /// `true` once the stamp is known fresh (`VERIFIED`), `false` while
+    /// speculative (`GUESSED`).
+    pub verified: bool,
+}
+
+impl Stamp {
+    /// The initial register stamp `((0, ⊥), VERIFIED)` (Algorithm 2 line 1).
+    pub const ZERO: Stamp = Stamp {
+        i: 0,
+        tid: 0,
+        verified: true,
+    };
+
+    /// The tombstone: all bits set, so no later write can exceed it
+    /// (SWARM-KV `delete`, §5.3.2).
+    pub const TOMBSTONE: Stamp = Stamp {
+        i: I_MAX,
+        tid: TID_MAX,
+        verified: true,
+    };
+
+    /// Creates a guessed stamp.
+    pub fn guessed(i: u64, tid: u8) -> Stamp {
+        assert!(i <= I_MAX, "timestamp counter overflow");
+        Stamp {
+            i,
+            tid,
+            verified: false,
+        }
+    }
+
+    /// Creates a verified stamp.
+    pub fn verified(i: u64, tid: u8) -> Stamp {
+        assert!(i <= I_MAX, "timestamp counter overflow");
+        Stamp {
+            i,
+            tid,
+            verified: true,
+        }
+    }
+
+    /// This stamp with the `VERIFIED` flag set.
+    pub fn with_verified(self) -> Stamp {
+        Stamp {
+            verified: true,
+            ..self
+        }
+    }
+
+    /// True if this is the delete tombstone.
+    pub fn is_tombstone(&self) -> bool {
+        self.i == I_MAX && self.tid == TID_MAX
+    }
+
+    /// The `(i, tid)` pair *without* the flag — what the timestamp lock
+    /// protects (a guessed write and its verified confirmation share it).
+    pub fn key(&self) -> (u64, u8) {
+        (self.i, self.tid)
+    }
+
+    /// Packs into 48 bits: `[i:39][tid:8][verified:1]`, numeric order ==
+    /// logical order.
+    pub fn pack48(&self) -> u64 {
+        (self.i << (TID_BITS + 1)) | ((self.tid as u64) << 1) | (self.verified as u64)
+    }
+
+    /// Inverse of [`Stamp::pack48`].
+    pub fn unpack48(v: u64) -> Stamp {
+        Stamp {
+            i: v >> (TID_BITS + 1),
+            tid: ((v >> 1) & 0xff) as u8,
+            verified: v & 1 == 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Stamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}.{}{}",
+            self.i,
+            self.tid,
+            if self.verified { "V" } else { "g" }
+        )
+    }
+}
+
+/// Strictly monotonic clock-based timestamp guesser (one per writer thread).
+///
+/// Wraps a [`swarm_sim::GuessClock`]: guesses derive from the local loosely
+/// synchronized clock (good guesses under clock synchrony, §3.2) but are
+/// forced strictly increasing per thread, as Safe-Guess mandates.
+pub struct TsGuesser {
+    clock: std::rc::Rc<swarm_sim::GuessClock>,
+    tid: u8,
+    last: std::cell::Cell<u64>,
+}
+
+impl TsGuesser {
+    /// Creates a guesser for thread `tid` over the given clock.
+    pub fn new(clock: std::rc::Rc<swarm_sim::GuessClock>, tid: u8) -> Self {
+        TsGuesser {
+            clock,
+            tid,
+            last: std::cell::Cell::new(0),
+        }
+    }
+
+    /// This guesser's thread id.
+    pub fn tid(&self) -> u8 {
+        self.tid
+    }
+
+    /// Guesses a (hopefully fresh) timestamp: strictly monotonic at this
+    /// thread (Assumption 1 of the correctness proof).
+    pub fn guess(&self) -> Stamp {
+        let from_clock = self.clock.read_ns() / TICK_NS + 1;
+        let i = from_clock.max(self.last.get() + 1).min(I_MAX - 1);
+        self.last.set(i);
+        Stamp::guessed(i, self.tid)
+    }
+
+    /// Re-synchronizes the underlying clock (called after a stale guess, §6).
+    pub fn resync(&self) {
+        self.clock.resync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::rc::Rc;
+    use swarm_sim::{GuessClock, Sim};
+
+    #[test]
+    fn ordering_is_i_then_tid_then_flag() {
+        let a = Stamp::guessed(1, 5);
+        let b = Stamp::guessed(2, 0);
+        let c = Stamp::verified(1, 5);
+        let d = Stamp::guessed(1, 6);
+        assert!(a < b);
+        assert!(a < c); // VERIFIED beats GUESSED at equal (i, tid)
+        assert!(c < b);
+        assert!(a < d);
+        assert!(d < b);
+    }
+
+    #[test]
+    fn pack48_preserves_order_and_roundtrips() {
+        let stamps = [
+            Stamp::ZERO,
+            Stamp::guessed(1, 0),
+            Stamp::verified(1, 0),
+            Stamp::guessed(1, 1),
+            Stamp::guessed(2, 0),
+            Stamp::verified(I_MAX - 1, 3),
+            Stamp::TOMBSTONE,
+        ];
+        for w in stamps.windows(2) {
+            assert!(w[0] < w[1]);
+            assert!(w[0].pack48() < w[1].pack48());
+        }
+        for s in stamps {
+            assert_eq!(Stamp::unpack48(s.pack48()), s);
+            assert!(s.pack48() < (1 << 48));
+        }
+    }
+
+    #[test]
+    fn tombstone_dominates_everything() {
+        assert!(Stamp::TOMBSTONE > Stamp::verified(I_MAX - 1, TID_MAX));
+        assert!(Stamp::TOMBSTONE.is_tombstone());
+        assert!(!Stamp::verified(3, 1).is_tombstone());
+    }
+
+    #[test]
+    fn with_verified_keeps_key() {
+        let g = Stamp::guessed(7, 2);
+        let v = g.with_verified();
+        assert_eq!(g.key(), v.key());
+        assert!(v > g);
+    }
+
+    #[test]
+    fn guesser_is_strictly_monotonic() {
+        let sim = Sim::new(1);
+        let clock = Rc::new(GuessClock::perfect(&sim));
+        let g = TsGuesser::new(clock, 3);
+        let mut prev = 0;
+        for _ in 0..100 {
+            let s = g.guess();
+            assert!(s.i > prev);
+            assert_eq!(s.tid, 3);
+            assert!(!s.verified);
+            prev = s.i;
+        }
+    }
+
+    #[test]
+    fn guesser_tracks_advancing_clock() {
+        let sim = Sim::new(2);
+        let clock = Rc::new(GuessClock::perfect(&sim));
+        let g = TsGuesser::new(clock, 0);
+        let s = sim.clone();
+        sim.block_on(async move {
+            let a = g.guess();
+            s.sleep_ns(10_000).await;
+            let b = g.guess();
+            assert!(b.i - a.i >= 10_000 / TICK_NS - 1);
+        });
+    }
+}

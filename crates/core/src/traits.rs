@@ -1,0 +1,190 @@
+//! Protocol-layer traits and shared client state.
+
+use std::cell::{Cell, RefCell};
+use std::future::Future;
+use std::rc::Rc;
+
+use swarm_sim::Nanos;
+
+use crate::stamp::Stamp;
+use crate::value::MVal;
+
+/// What a single fallible (per-node) max-register replica returns to a read.
+///
+/// With the paper's bandwidth optimization (§6), in-place data lives at only
+/// one replica, so a replica may answer with its stamp but *without* the
+/// value; the reliable layer then [`ReplicaClient::fetch`]es the payload from
+/// whichever replica reported the maximum.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Highest stamp stored at the replica.
+    pub stamp: Stamp,
+    /// Opaque replica-specific token identifying the stamped data (the raw
+    /// In-n-Out metadata word); passed back to [`ReplicaClient::fetch`].
+    pub token: u64,
+    /// Payload, if the replica could return it in the same roundtrip.
+    pub value: Option<Rc<Vec<u8>>>,
+}
+
+/// Client handle to one fallible per-node max register (the paper's
+/// "unreliable max register", §2.3).
+///
+/// Methods consume a clone so the returned futures are `'static` and can be
+/// raced in quorums; a crashed node's future simply never resolves (the
+/// fabric is silent), so callers bound waits with timeouts.
+pub trait ReplicaClient: Clone + 'static {
+    /// Applies `MAX(register, v)` at the replica; resolves once acknowledged.
+    fn write(self, v: MVal) -> impl Future<Output = ()> + 'static;
+
+    /// Reads the replica's current maximum.
+    fn read(self) -> impl Future<Output = Snapshot> + 'static;
+
+    /// Retrieves the payload for a previously observed `token`, returning a
+    /// value whose stamp is `>=` the token's stamp (newer is fine: max
+    /// registers only promise a lower bound).
+    fn fetch(self, token: u64) -> impl Future<Output = MVal> + 'static;
+}
+
+/// A reliable (majority-replicated, wait-free) max register — the interface
+/// shared by ABD and Safe-Guess (Algorithms 1, 2/3) and implemented by
+/// [`crate::ReliableMaxReg`].
+pub trait MaxRegister: Clone + 'static {
+    /// Writes `v`; on return, `v` is stored at a majority.
+    fn write(&self, v: MVal) -> impl Future<Output = ()> + 'static;
+
+    /// Reads the maximum; includes the write-back phase required for
+    /// read-read monotonicity (Appendix A).
+    fn read(&self) -> impl Future<Output = MVal> + 'static;
+
+    /// 1-RTT stamp-only read without write-back: sufficient for fresh-
+    /// timestamp discovery in writes (Appendix A.2 optimization).
+    fn read_stamp(&self) -> impl Future<Output = Stamp> + 'static;
+
+    /// Fire-and-forget background write (Safe-Guess `in bg: M.WRITE(..)`).
+    fn write_bg(&self, v: MVal);
+}
+
+/// Per-client failure suspicion, shared across all registers of one client.
+///
+/// When a quorum wait times out, unresponsive nodes are suspected and
+/// subsequent operations stop contacting them optimistically (they are still
+/// contacted when quorums must widen). This reproduces §7.7: after a memory
+/// node crashes, only the first few operations pay the timeout, and no
+/// reconfiguration is needed.
+#[derive(Debug)]
+pub struct NodeHealth {
+    suspected: RefCell<Vec<bool>>,
+}
+
+impl NodeHealth {
+    /// Creates all-healthy state for `n` nodes.
+    pub fn new(n: usize) -> Rc<Self> {
+        Rc::new(NodeHealth {
+            suspected: RefCell::new(vec![false; n]),
+        })
+    }
+
+    /// Marks node `i` suspected.
+    pub fn suspect(&self, i: usize) {
+        self.suspected.borrow_mut()[i] = true;
+    }
+
+    /// Clears suspicion of node `i` (e.g., membership says it recovered).
+    pub fn clear(&self, i: usize) {
+        self.suspected.borrow_mut()[i] = false;
+    }
+
+    /// True if node `i` is currently suspected.
+    pub fn is_suspected(&self, i: usize) -> bool {
+        self.suspected.borrow()[i]
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.suspected.borrow().len()
+    }
+
+    /// True if no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Shared roundtrip counter: protocols bump it once per *sequential* network
+/// phase, so the KV layer can report per-operation roundtrip counts
+/// (Table 2) by differencing.
+#[derive(Debug, Clone, Default)]
+pub struct Rounds {
+    count: Rc<Cell<u64>>,
+}
+
+impl Rounds {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one roundtrip.
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` roundtrips.
+    pub fn add(&self, n: u64) {
+        self.count.set(self.count.get() + n);
+    }
+
+    /// Total roundtrips recorded.
+    pub fn get(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Removes `n` counted roundtrips: used when two phases that each
+    /// counted themselves actually ran in parallel (e.g. Safe-Guess's
+    /// write + freshness read, Algorithm 2 line 6).
+    pub fn uncount(&self, n: u64) {
+        self.count.set(self.count.get().saturating_sub(n));
+    }
+}
+
+/// Common quorum-timing knobs shared by the reliable register and the
+/// timestamp lock.
+#[derive(Debug, Clone, Copy)]
+pub struct QuorumConfig {
+    /// How long to wait for the optimistic majority before widening to all
+    /// replicas and suspecting the stragglers (§6, §7.7).
+    pub widen_timeout_ns: Nanos,
+}
+
+impl Default for QuorumConfig {
+    fn default() -> Self {
+        QuorumConfig {
+            widen_timeout_ns: 6_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn health_tracks_suspicion() {
+        let h = NodeHealth::new(3);
+        assert!(!h.is_suspected(1));
+        h.suspect(1);
+        assert!(h.is_suspected(1));
+        h.clear(1);
+        assert!(!h.is_suspected(1));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn rounds_accumulate_shared() {
+        let r = Rounds::new();
+        let r2 = r.clone();
+        r.bump();
+        r2.add(2);
+        assert_eq!(r.get(), 3);
+    }
+}

@@ -1,0 +1,100 @@
+//! Register values: a stamped byte buffer.
+
+use std::rc::Rc;
+
+use crate::stamp::Stamp;
+
+/// A max-register value: the written bytes tagged with their [`Stamp`].
+///
+/// Ordering (and therefore the max-register semantics) is by stamp alone;
+/// two distinct writes never share a stamp (Observation 4 of the paper's
+/// proof), and a write and its `VERIFIED` confirmation carry the same bytes.
+/// Values are reference-counted so quorum fan-out does not copy payloads.
+#[derive(Debug, Clone)]
+pub struct MVal {
+    /// The ordering stamp.
+    pub stamp: Stamp,
+    /// The written bytes (fixed-size per register; the KV layer pads).
+    pub value: Rc<Vec<u8>>,
+}
+
+impl MVal {
+    /// The initial register value: `((0, ⊥), VERIFIED, ⊥)` (Algorithm 2).
+    pub fn initial() -> MVal {
+        MVal {
+            stamp: Stamp::ZERO,
+            value: Rc::new(Vec::new()),
+        }
+    }
+
+    /// Creates a value.
+    pub fn new(stamp: Stamp, value: Vec<u8>) -> MVal {
+        MVal {
+            stamp,
+            value: Rc::new(value),
+        }
+    }
+
+    /// This value re-stamped as `VERIFIED` (same bytes, same `(i, tid)`).
+    pub fn with_verified(&self) -> MVal {
+        MVal {
+            stamp: self.stamp.with_verified(),
+            value: Rc::clone(&self.value),
+        }
+    }
+
+    /// True if this is still the initial (never-written) value.
+    pub fn is_initial(&self) -> bool {
+        self.stamp == Stamp::ZERO
+    }
+
+    /// True if this value is a delete tombstone (SWARM-KV, §5.3.2).
+    pub fn is_tombstone(&self) -> bool {
+        self.stamp.is_tombstone()
+    }
+}
+
+impl PartialEq for MVal {
+    fn eq(&self, other: &Self) -> bool {
+        self.stamp == other.stamp
+    }
+}
+impl Eq for MVal {}
+impl PartialOrd for MVal {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MVal {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.stamp.cmp(&other.stamp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_by_stamp() {
+        let a = MVal::new(Stamp::guessed(1, 0), vec![1]);
+        let b = MVal::new(Stamp::guessed(2, 0), vec![0]);
+        assert!(a < b);
+        assert!(a < a.with_verified());
+    }
+
+    #[test]
+    fn initial_is_smallest() {
+        let init = MVal::initial();
+        assert!(init.is_initial());
+        assert!(init < MVal::new(Stamp::guessed(1, 0), vec![]));
+    }
+
+    #[test]
+    fn verified_shares_bytes() {
+        let a = MVal::new(Stamp::guessed(3, 1), vec![9; 16]);
+        let v = a.with_verified();
+        assert!(Rc::ptr_eq(&a.value, &v.value));
+        assert_eq!(a.stamp.key(), v.stamp.key());
+    }
+}

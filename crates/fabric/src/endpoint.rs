@@ -1,0 +1,249 @@
+//! Client endpoints: submission pipeline for one-sided operation series.
+//!
+//! An [`Endpoint`] models one client thread's RDMA context: a CPU core that
+//! serializes work-request submission, and one queue pair per memory node
+//! that delivers messages in FIFO order. `submit` returns a receiver the
+//! caller may await *or drop*: node-side effects of a submitted series happen
+//! regardless, which is exactly the fire-and-forget semantics the protocols
+//! rely on for background writes (e.g. Safe-Guess's `in bg: M.WRITE(..)`).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use swarm_sim::{oneshot, FifoResource, Nanos, OneshotReceiver};
+
+use crate::fabric::Fabric;
+use crate::node::NodeId;
+use crate::op::{Op, OpResult};
+
+/// Per-client traffic counters (drives per-client IO accounting, Table 3).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EndpointStats {
+    /// Message series submitted.
+    pub series: u64,
+    /// Request bytes sent.
+    pub bytes_out: u64,
+    /// Response bytes received (includes responses still in flight).
+    pub bytes_in: u64,
+}
+
+/// A client-side fabric endpoint (one per client thread).
+pub struct Endpoint {
+    fabric: Fabric,
+    id: usize,
+    cpu: FifoResource,
+    /// CPU time multiplier (models hyperthread sharing beyond 32 clients,
+    /// §7.3).
+    cpu_scale: Cell<f64>,
+    /// Last scheduled arrival per destination node, enforcing QP FIFO.
+    /// Shared (`Rc`) with in-flight message tasks.
+    qp_clock: Rc<RefCell<Vec<Nanos>>>,
+    stats: Cell<EndpointStats>,
+}
+
+impl Endpoint {
+    pub(crate) fn new(fabric: Fabric, id: usize, cpu: FifoResource) -> Self {
+        let n = fabric.num_nodes();
+        Endpoint {
+            fabric,
+            id,
+            cpu,
+            cpu_scale: Cell::new(1.0),
+            qp_clock: Rc::new(RefCell::new(vec![0; n])),
+            stats: Cell::new(EndpointStats::default()),
+        }
+    }
+
+    /// This endpoint's client id.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The fabric this endpoint is attached to.
+    pub fn fabric(&self) -> &Fabric {
+        &self.fabric
+    }
+
+    /// The CPU core submissions serialize on.
+    pub fn cpu(&self) -> &FifoResource {
+        &self.cpu
+    }
+
+    /// Sets the CPU slowdown factor (1.0 = dedicated physical core).
+    pub fn set_cpu_scale(&self, scale: f64) {
+        assert!(scale >= 1.0);
+        self.cpu_scale.set(scale);
+    }
+
+    /// Per-endpoint traffic counters.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats.get()
+    }
+
+    fn scaled(&self, ns: Nanos) -> Nanos {
+        (ns as f64 * self.cpu_scale.get()).round() as Nanos
+    }
+
+    /// Occupies this endpoint's CPU core for `ns` nanoseconds of
+    /// application-level work (workload generation, cache lookups,
+    /// completion processing) and waits for it to elapse.
+    pub async fn work(&self, ns: Nanos) {
+        let (_, _, wait) = self.cpu.acquire(self.scaled(ns));
+        wait.await;
+    }
+
+    /// Submits a pipelined series of operations to `node`.
+    ///
+    /// Returns a receiver for the per-op results. The receiver yields `None`
+    /// only if the simulation ends the message's task early; a crashed node
+    /// produces *silence* (the receiver never resolves), so callers bound
+    /// waits with [`swarm_sim::timeout_at`].
+    pub fn submit(&self, node: NodeId, ops: Vec<Op>) -> OneshotReceiver<Vec<OpResult>> {
+        let (tx, rx) = oneshot();
+        let cfg = self.fabric.config();
+        let header = cfg.header_bytes;
+        let req_bytes = header + ops.iter().map(Op::request_payload).sum::<usize>();
+        let resp_bytes = header + ops.iter().map(Op::response_payload).sum::<usize>();
+        let has_read = ops.iter().any(|o| matches!(o, Op::Read { .. }));
+
+        // Reserve the submission slot *now*: concurrent submitters on the
+        // same core serialize in call order, deterministically.
+        let (_, submit_done, _) = self.cpu.acquire(self.scaled(cfg.issue_ns));
+
+        let mut st = self.stats.get();
+        st.series += 1;
+        st.bytes_out += req_bytes as u64;
+        st.bytes_in += resp_bytes as u64;
+        self.stats.set(st);
+        self.fabric.account(req_bytes + resp_bytes);
+
+        let fabric = self.fabric.clone();
+        let sim = fabric.sim().clone();
+        let qp = QpClockRef {
+            clock: Rc::clone(&self.qp_clock),
+            node: node.0,
+        };
+
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let cfg = fabric.config().clone();
+            // 1. Wait for the CPU to finish posting the work requests.
+            sim2.sleep_until(submit_done).await;
+
+            // 2. Uplink: serialize through the shared switch, then propagate.
+            let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(req_bytes));
+            let mut arrival = ser_end + cfg.wire.sample(&sim2);
+            // Enforce FIFO on this queue pair.
+            arrival = arrival.max(qp.get() + 1);
+            qp.set(arrival);
+            sim2.sleep_until(arrival).await;
+
+            // 3. Node receive.
+            let node_rc = fabric.node(node);
+            if !node_rc.is_alive() {
+                fabric.inner.graveyard.borrow_mut().push(tx);
+                return;
+            }
+            node_rc.account(req_bytes + resp_bytes);
+            // The NIC reservation shapes response timing and captures
+            // queuing under load; DMA application itself is cut-through and
+            // proceeds in parallel across queue pairs (so reads from other
+            // clients can observe a write mid-application).
+            // Reads pay an extra DMA-fetch delay, but NICs pipeline it
+            // across queue pairs: it adds latency, not NIC occupancy.
+            let service = cfg.node_fixed_ns + cfg.link_ns(req_bytes);
+            let (_, nic_done) = node_rc.nic().reserve(service);
+            let nic_done = nic_done + if has_read { cfg.read_extra_ns } else { 0 };
+
+            // 4. Apply the series in FIFO order.
+            let mut results = Vec::with_capacity(ops.len());
+            for op in &ops {
+                match op {
+                    Op::Read { addr, len } => {
+                        // Snapshot at a single instant: a read overlapping a
+                        // chunked write observes torn data.
+                        results.push(OpResult::Read(node_rc.mem().read(*addr, *len)));
+                    }
+                    Op::Write { addr, data } => {
+                        let chunk = cfg.chunk_bytes;
+                        let mut off = 0;
+                        while off < data.len() {
+                            let end = (off + chunk).min(data.len());
+                            node_rc.mem().write(addr + off as u64, &data[off..end]);
+                            off = end;
+                            sim2.sleep_ns(cfg.chunk_ns()).await;
+                        }
+                        results.push(OpResult::Write);
+                    }
+                    Op::Cas {
+                        addr,
+                        expected,
+                        new,
+                    } => {
+                        results.push(OpResult::Cas(node_rc.mem().cas_u64(*addr, *expected, *new)));
+                    }
+                }
+            }
+
+            // Response departs once both the DMA application and the NIC
+            // service slot have completed.
+            if nic_done > sim2.now() {
+                sim2.sleep_until(nic_done).await;
+            }
+
+            // A node that crashed while serving never answers.
+            if !node_rc.is_alive() {
+                fabric.inner.graveyard.borrow_mut().push(tx);
+                return;
+            }
+
+            // 5. Downlink.
+            let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(resp_bytes));
+            let back = ser_end + cfg.wire.sample(&sim2);
+            sim2.sleep_until(back).await;
+            tx.send(results);
+        });
+        rx
+    }
+
+    /// Convenience: single READ.
+    pub async fn read(&self, node: NodeId, addr: u64, len: usize) -> Option<Vec<u8>> {
+        let r = self.submit(node, vec![Op::Read { addr, len }]).await?;
+        Some(r.into_iter().next().unwrap().into_read())
+    }
+
+    /// Convenience: single WRITE.
+    pub async fn write(&self, node: NodeId, addr: u64, data: Vec<u8>) -> Option<()> {
+        self.submit(node, vec![Op::Write { addr, data }]).await?;
+        Some(())
+    }
+
+    /// Convenience: single CAS; returns the previous value.
+    pub async fn cas(&self, node: NodeId, addr: u64, expected: u64, new: u64) -> Option<u64> {
+        let r = self
+            .submit(
+                node,
+                vec![Op::Cas {
+                    addr,
+                    expected,
+                    new,
+                }],
+            )
+            .await?;
+        Some(r.into_iter().next().unwrap().into_cas())
+    }
+}
+
+struct QpClockRef {
+    clock: Rc<RefCell<Vec<Nanos>>>,
+    node: usize,
+}
+
+impl QpClockRef {
+    fn get(&self) -> Nanos {
+        self.clock.borrow()[self.node]
+    }
+    fn set(&self, v: Nanos) {
+        self.clock.borrow_mut()[self.node] = v;
+    }
+}

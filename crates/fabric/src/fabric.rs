@@ -1,0 +1,148 @@
+//! The fabric: memory nodes, the shared switch, and global traffic stats.
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use swarm_sim::{FifoResource, OneshotSender, Sim};
+
+use crate::config::FabricConfig;
+use crate::endpoint::Endpoint;
+use crate::node::{Node, NodeId};
+use crate::op::OpResult;
+
+/// Aggregate traffic counters (drives the paper's IO-bandwidth numbers,
+/// Table 3).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficStats {
+    /// Total messages that entered the fabric.
+    pub messages: u64,
+    /// Total request + response bytes.
+    pub bytes: u64,
+}
+
+pub(crate) struct FabricInner {
+    pub(crate) sim: Sim,
+    pub(crate) cfg: FabricConfig,
+    pub(crate) nodes: Vec<Rc<Node>>,
+    pub(crate) switch: FifoResource,
+    /// Response senders owned by crashed nodes: kept alive so the client
+    /// side observes *silence* (failure detection is timeout-driven, §7.7),
+    /// not an eager error.
+    pub(crate) graveyard: RefCell<Vec<OneshotSender<Vec<OpResult>>>>,
+    pub(crate) endpoints: Cell<usize>,
+    pub(crate) stats: Cell<TrafficStats>,
+}
+
+/// Handle to the simulated disaggregated-memory fabric.
+#[derive(Clone)]
+pub struct Fabric {
+    pub(crate) inner: Rc<FabricInner>,
+}
+
+impl Fabric {
+    /// Creates a fabric with `num_nodes` memory nodes.
+    pub fn new(sim: &Sim, cfg: FabricConfig, num_nodes: usize) -> Self {
+        assert!(num_nodes >= 1, "fabric needs at least one memory node");
+        Fabric {
+            inner: Rc::new(FabricInner {
+                sim: sim.clone(),
+                cfg,
+                nodes: (0..num_nodes).map(|_| Node::new(sim)).collect(),
+                switch: FifoResource::new(sim),
+                graveyard: RefCell::new(Vec::new()),
+                endpoints: Cell::new(0),
+                stats: Cell::new(TrafficStats::default()),
+            }),
+        }
+    }
+
+    /// The simulation this fabric runs in.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The latency-model configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.inner.cfg
+    }
+
+    /// Number of memory nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.inner.nodes.len()
+    }
+
+    /// Access to a memory node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn node(&self, id: NodeId) -> Rc<Node> {
+        Rc::clone(&self.inner.nodes[id.0])
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> Vec<NodeId> {
+        (0..self.num_nodes()).map(NodeId).collect()
+    }
+
+    /// Crashes a node: requests arriving from now on are dropped silently.
+    pub fn crash_node(&self, id: NodeId) {
+        self.inner.nodes[id.0].crash();
+    }
+
+    /// Creates a client endpoint with its own dedicated CPU core.
+    pub fn endpoint(&self) -> Endpoint {
+        let cpu = FifoResource::new(&self.inner.sim);
+        self.endpoint_with_cpu(cpu)
+    }
+
+    /// Creates a client endpoint sharing an existing CPU core (models two
+    /// hyperthreads or co-located client threads).
+    pub fn endpoint_with_cpu(&self, cpu: FifoResource) -> Endpoint {
+        let id = self.inner.endpoints.get();
+        self.inner.endpoints.set(id + 1);
+        Endpoint::new(self.clone(), id, cpu)
+    }
+
+    /// Global traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.inner.stats.get()
+    }
+
+    /// Total disaggregated memory allocated across all nodes, in bytes.
+    pub fn total_allocated_bytes(&self) -> u64 {
+        self.inner.nodes.iter().map(|n| n.allocated_bytes()).sum()
+    }
+
+    pub(crate) fn account(&self, bytes: usize) {
+        let mut s = self.inner.stats.get();
+        s.messages += 1;
+        s.bytes += bytes as u64;
+        self.inner.stats.set(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_exposes_nodes() {
+        let sim = Sim::new(1);
+        let f = Fabric::new(&sim, FabricConfig::default(), 4);
+        assert_eq!(f.num_nodes(), 4);
+        assert_eq!(f.node_ids().len(), 4);
+        f.crash_node(NodeId(2));
+        assert!(!f.node(NodeId(2)).is_alive());
+        assert!(f.node(NodeId(1)).is_alive());
+    }
+
+    #[test]
+    fn endpoints_get_distinct_ids() {
+        let sim = Sim::new(1);
+        let f = Fabric::new(&sim, FabricConfig::default(), 1);
+        let a = f.endpoint();
+        let b = f.endpoint();
+        assert_ne!(a.id(), b.id());
+    }
+}

@@ -1,0 +1,167 @@
+//! Raw node memory: a flat byte space with a bump allocator.
+//!
+//! This module is purely functional with respect to virtual time — the timing
+//! of chunked write application lives in the fabric pipeline; `NodeMemory`
+//! only provides the byte-level primitives (copy ranges, 8 B atomic CAS) and
+//! allocation accounting used for the paper's memory-consumption numbers
+//! (Table 3).
+
+use std::cell::RefCell;
+
+/// Byte-addressable memory of one simulated node.
+#[derive(Debug, Default)]
+pub struct NodeMemory {
+    bytes: RefCell<Vec<u8>>,
+    next: RefCell<u64>,
+}
+
+impl NodeMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocates `len` bytes with the given power-of-two alignment and
+    /// returns the base address. Memory is zero-initialized.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `align` is not a power of two.
+    pub fn alloc(&self, len: u64, align: u64) -> u64 {
+        assert!(align.is_power_of_two(), "alignment must be a power of two");
+        let mut next = self.next.borrow_mut();
+        let base = (*next + align - 1) & !(align - 1);
+        *next = base + len;
+        let mut bytes = self.bytes.borrow_mut();
+        if bytes.len() < *next as usize {
+            bytes.resize(*next as usize, 0);
+        }
+        base
+    }
+
+    /// Total bytes allocated so far (disaggregated-memory consumption).
+    pub fn allocated_bytes(&self) -> u64 {
+        *self.next.borrow()
+    }
+
+    /// Copies `data` into memory at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access (always an allocator-client bug).
+    pub fn write(&self, addr: u64, data: &[u8]) {
+        let mut bytes = self.bytes.borrow_mut();
+        let start = addr as usize;
+        let end = start + data.len();
+        assert!(end <= bytes.len(), "write out of bounds: {addr}+{}", data.len());
+        bytes[start..end].copy_from_slice(data);
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds access.
+    pub fn read(&self, addr: u64, len: usize) -> Vec<u8> {
+        let bytes = self.bytes.borrow();
+        let start = addr as usize;
+        let end = start + len;
+        assert!(end <= bytes.len(), "read out of bounds: {addr}+{len}");
+        bytes[start..end].to_vec()
+    }
+
+    /// Reads the 8 B little-endian word at `addr` (must be 8-aligned).
+    pub fn read_u64(&self, addr: u64) -> u64 {
+        assert_eq!(addr % 8, 0, "unaligned 64-bit read");
+        let b = self.read(addr, 8);
+        u64::from_le_bytes(b.try_into().unwrap())
+    }
+
+    /// Writes the 8 B little-endian word at `addr` (must be 8-aligned).
+    pub fn write_u64(&self, addr: u64, v: u64) {
+        assert_eq!(addr % 8, 0, "unaligned 64-bit write");
+        self.write(addr, &v.to_le_bytes());
+    }
+
+    /// Atomic 64-bit compare-and-swap; returns the previous value.
+    ///
+    /// This mirrors the only atomic the paper assumes of the disaggregated
+    /// memory (§2.1). The swap happens at a single simulation instant, so it
+    /// can never be observed torn.
+    pub fn cas_u64(&self, addr: u64, expected: u64, new: u64) -> u64 {
+        let prev = self.read_u64(addr);
+        if prev == expected {
+            self.write_u64(addr, new);
+        }
+        prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_respects_alignment() {
+        let m = NodeMemory::new();
+        let a = m.alloc(3, 1);
+        let b = m.alloc(8, 8);
+        assert_eq!(a, 0);
+        assert_eq!(b % 8, 0);
+        assert!(b >= 3);
+        assert_eq!(m.allocated_bytes(), b + 8);
+    }
+
+    #[test]
+    fn memory_is_zero_initialized() {
+        let m = NodeMemory::new();
+        let a = m.alloc(16, 8);
+        assert_eq!(m.read(a, 16), vec![0u8; 16]);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let m = NodeMemory::new();
+        let a = m.alloc(32, 8);
+        let data: Vec<u8> = (0..32).collect();
+        m.write(a, &data);
+        assert_eq!(m.read(a, 32), data);
+        assert_eq!(m.read(a + 4, 4), vec![4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn u64_roundtrip_little_endian() {
+        let m = NodeMemory::new();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 0x1122334455667788);
+        assert_eq!(m.read_u64(a), 0x1122334455667788);
+        assert_eq!(m.read(a, 1), vec![0x88]);
+    }
+
+    #[test]
+    fn cas_succeeds_only_on_match() {
+        let m = NodeMemory::new();
+        let a = m.alloc(8, 8);
+        m.write_u64(a, 10);
+        assert_eq!(m.cas_u64(a, 10, 20), 10);
+        assert_eq!(m.read_u64(a), 20);
+        assert_eq!(m.cas_u64(a, 10, 30), 20); // fails, returns current
+        assert_eq!(m.read_u64(a), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_read_panics() {
+        let m = NodeMemory::new();
+        let a = m.alloc(8, 8);
+        let _ = m.read(a, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_cas_panics() {
+        let m = NodeMemory::new();
+        m.alloc(16, 8);
+        m.cas_u64(4, 0, 1);
+    }
+}

@@ -1,0 +1,124 @@
+//! One-sided fabric operations and their wire-size accounting.
+
+/// A one-sided operation against a memory node.
+///
+/// A `Vec<Op>` submitted together forms a *pipelined series*: the node applies
+/// the operations in order (FIFO, §2.1) and a single response acknowledges all
+/// of them — this is what lets In-n-Out write the out-of-place buffer and
+/// update the metadata word in one roundtrip (Algorithm 5).
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Read `len` bytes from `addr`.
+    Read {
+        /// Base address on the node.
+        addr: u64,
+        /// Number of bytes to read.
+        len: usize,
+    },
+    /// Write `data` to `addr` (non-atomic: applies in chunks).
+    Write {
+        /// Base address on the node.
+        addr: u64,
+        /// Bytes to store.
+        data: Vec<u8>,
+    },
+    /// Atomic 64-bit compare-and-swap at `addr`.
+    Cas {
+        /// Address of the 8-aligned word.
+        addr: u64,
+        /// Value the word must hold for the swap to apply.
+        expected: u64,
+        /// Replacement value.
+        new: u64,
+    },
+}
+
+/// Result of one [`Op`], in submission order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpResult {
+    /// Bytes observed by a read (snapshot at node application time).
+    Read(Vec<u8>),
+    /// Write acknowledged (fully applied at the node).
+    Write,
+    /// Previous value observed by a CAS (swap applied iff it equals
+    /// `expected`).
+    Cas(u64),
+}
+
+impl Op {
+    /// Request payload bytes carried on the wire for this op.
+    pub fn request_payload(&self) -> usize {
+        match self {
+            // A read request carries only a descriptor (addr+len), folded
+            // into the header; model it as 8 extra bytes.
+            Op::Read { .. } => 8,
+            Op::Write { data, .. } => data.len(),
+            Op::Cas { .. } => 16,
+        }
+    }
+
+    /// Response payload bytes for this op.
+    pub fn response_payload(&self) -> usize {
+        match self {
+            Op::Read { len, .. } => *len,
+            Op::Write { .. } => 0,
+            Op::Cas { .. } => 8,
+        }
+    }
+}
+
+impl OpResult {
+    /// Extracts read bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this result is not a `Read`.
+    pub fn into_read(self) -> Vec<u8> {
+        match self {
+            OpResult::Read(b) => b,
+            other => panic!("expected Read result, got {other:?}"),
+        }
+    }
+
+    /// Extracts the CAS-observed previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this result is not a `Cas`.
+    pub fn into_cas(self) -> u64 {
+        match self {
+            OpResult::Cas(v) => v,
+            other => panic!("expected Cas result, got {other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_accounting() {
+        assert_eq!(Op::Read { addr: 0, len: 64 }.request_payload(), 8);
+        assert_eq!(Op::Read { addr: 0, len: 64 }.response_payload(), 64);
+        let w = Op::Write {
+            addr: 0,
+            data: vec![0; 100],
+        };
+        assert_eq!(w.request_payload(), 100);
+        assert_eq!(w.response_payload(), 0);
+        let c = Op::Cas {
+            addr: 0,
+            expected: 1,
+            new: 2,
+        };
+        assert_eq!(c.request_payload(), 16);
+        assert_eq!(c.response_payload(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected Cas")]
+    fn wrong_extraction_panics() {
+        OpResult::Write.into_cas();
+    }
+}

@@ -1,0 +1,298 @@
+//! Behavioral tests for the simulated fabric: the three properties SWARM
+//! requires of the disaggregation technology (§2.1), plus failure semantics
+//! and latency calibration.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swarm_fabric::{Fabric, FabricConfig, NodeId, Op};
+use swarm_sim::{timeout_at, Nanos, Quorum, Sim, NANOS_PER_MICRO};
+
+fn setup(seed: u64, cfg: FabricConfig, nodes: usize) -> (Sim, Fabric) {
+    let sim = Sim::new(seed);
+    let fabric = Fabric::new(&sim, cfg, nodes);
+    (sim, fabric)
+}
+
+#[test]
+fn write_then_read_roundtrips_through_the_wire() {
+    let (sim, fabric) = setup(1, FabricConfig::deterministic(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(128, 8);
+    let ep = fabric.endpoint();
+    sim.block_on(async move {
+        ep.write(NodeId(0), addr, (0..128u8).map(|i| i ^ 0x5a).collect())
+            .await
+            .unwrap();
+        let got = ep.read(NodeId(0), addr, 128).await.unwrap();
+        assert_eq!(got, (0..128u8).map(|i| i ^ 0x5a).collect::<Vec<_>>());
+    });
+}
+
+#[test]
+fn raw_roundtrip_latency_is_in_the_microsecond_range() {
+    // Calibration guard: a small read should take 1.5–2.5 µs, matching the
+    // RAW baseline the paper anchors on (§7.1).
+    let (sim, fabric) = setup(2, FabricConfig::default(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(64, 8);
+    let ep = fabric.endpoint();
+    let sim2 = sim.clone();
+    let rtt = sim.block_on(async move {
+        let t0 = sim2.now();
+        ep.read(NodeId(0), addr, 64).await.unwrap();
+        sim2.now() - t0
+    });
+    assert!(
+        (1_500..2_500).contains(&rtt),
+        "unexpected RAW-like read RTT: {rtt} ns"
+    );
+}
+
+#[test]
+fn pipelined_series_applies_in_fifo_order_in_one_roundtrip() {
+    // Write a buffer and CAS a metadata word in ONE series: if the CAS is
+    // visible, the buffer write must be fully visible too (In-n-Out's
+    // cornerstone, Algorithm 5).
+    let (sim, fabric) = setup(3, FabricConfig::deterministic(), 1);
+    let node = NodeId(0);
+    let buf = fabric.node(node).alloc(1024, 8);
+    let meta = fabric.node(node).alloc(8, 8);
+    let ep = fabric.endpoint();
+    let ep_reader = fabric.endpoint();
+    let sim2 = sim.clone();
+
+    // Reader polls metadata; as soon as it flips, the buffer must be complete.
+    let observed = Rc::new(RefCell::new(Vec::new()));
+    let obs = Rc::clone(&observed);
+    sim.spawn(async move {
+        loop {
+            let r = ep_reader
+                .submit(
+                    node,
+                    vec![
+                        Op::Read { addr: meta, len: 8 },
+                        Op::Read {
+                            addr: buf,
+                            len: 1024,
+                        },
+                    ],
+                )
+                .await
+                .unwrap();
+            let m = u64::from_le_bytes(r[0].clone().into_read().try_into().unwrap());
+            if m == 1 {
+                obs.borrow_mut().push(r[1].clone().into_read());
+                return;
+            }
+        }
+    });
+
+    sim.block_on(async move {
+        sim2.sleep_ns(500).await;
+        ep.submit(
+            node,
+            vec![
+                Op::Write {
+                    addr: buf,
+                    data: vec![0xAB; 1024],
+                },
+                Op::Cas {
+                    addr: meta,
+                    expected: 0,
+                    new: 1,
+                },
+            ],
+        )
+        .await
+        .unwrap();
+    });
+    let seen = observed.borrow();
+    assert_eq!(seen.len(), 1);
+    assert_eq!(seen[0], vec![0xAB; 1024], "metadata visible before data");
+}
+
+#[test]
+fn concurrent_large_write_can_tear_a_read() {
+    // Start a large write; read the same region mid-flight from another
+    // endpoint. With chunked application some reads must observe a mix of
+    // old and new bytes.
+    let (sim, fabric) = setup(4, FabricConfig::default(), 1);
+    let node = NodeId(0);
+    let len = 8192usize;
+    let addr = fabric.node(node).alloc(len as u64, 8);
+    let w = fabric.endpoint();
+
+    let done = Rc::new(RefCell::new(false));
+    let torn = Rc::new(RefCell::new(false));
+    for _ in 0..4 {
+        let r = fabric.endpoint();
+        let torn2 = Rc::clone(&torn);
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            while !*done2.borrow() {
+                let data = r.read(node, addr, len).await.unwrap();
+                let first = data[0];
+                if data.iter().any(|&b| b != first) {
+                    *torn2.borrow_mut() = true;
+                }
+            }
+        });
+    }
+    let done2 = Rc::clone(&done);
+    sim.spawn(async move {
+        for i in 0..200u32 {
+            w.write(node, addr, vec![i as u8; len]).await.unwrap();
+        }
+        *done2.borrow_mut() = true;
+    });
+    sim.run();
+    assert!(*torn.borrow(), "no torn read observed for an 8 KiB write");
+}
+
+#[test]
+fn cas_is_atomic_under_contention() {
+    // 8 endpoints CAS-increment the same word 32 times each; every increment
+    // must be applied exactly once (no lost updates).
+    let (sim, fabric) = setup(5, FabricConfig::default(), 1);
+    let node = NodeId(0);
+    let addr = fabric.node(node).alloc(8, 8);
+    for _ in 0..8 {
+        let ep = fabric.endpoint();
+        sim.spawn(async move {
+            for _ in 0..32 {
+                loop {
+                    let cur = ep.read(node, addr, 8).await.unwrap();
+                    let cur = u64::from_le_bytes(cur.try_into().unwrap());
+                    let prev = ep.cas(node, addr, cur, cur + 1).await.unwrap();
+                    if prev == cur {
+                        break;
+                    }
+                }
+            }
+        });
+    }
+    sim.run();
+    assert_eq!(fabric.node(node).mem().read_u64(addr), 8 * 32);
+}
+
+#[test]
+fn crashed_node_is_silent_not_erroring() {
+    let (sim, fabric) = setup(6, FabricConfig::default(), 2);
+    let addr = fabric.node(NodeId(0)).alloc(8, 8);
+    fabric.node(NodeId(1)).alloc(8, 8);
+    fabric.crash_node(NodeId(0));
+    let ep = fabric.endpoint();
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let mut q = Quorum::new(1);
+        q.push(async move { ep.read(NodeId(0), addr, 8).await });
+        let r = timeout_at(&sim2, 50 * NANOS_PER_MICRO, &mut q).await;
+        assert!(r.is_err(), "crashed node answered");
+        assert_eq!(q.completed(), 0);
+    });
+}
+
+#[test]
+fn qp_delivery_is_fifo_per_node() {
+    // Two back-to-back single-op series on the same QP must be applied in
+    // submission order even with jitter.
+    for seed in 0..20 {
+        let (sim, fabric) = setup(100 + seed, FabricConfig::default(), 1);
+        let node = NodeId(0);
+        let addr = fabric.node(node).alloc(8, 8);
+        let ep = fabric.endpoint();
+        sim.spawn(async move {
+            // Submit both without awaiting the first.
+            let r1 = ep.submit(
+                node,
+                vec![Op::Write {
+                    addr,
+                    data: 1u64.to_le_bytes().to_vec(),
+                }],
+            );
+            let r2 = ep.submit(
+                node,
+                vec![Op::Write {
+                    addr,
+                    data: 2u64.to_le_bytes().to_vec(),
+                }],
+            );
+            let (a, b) = swarm_sim::join2(r1, r2).await;
+            assert!(a.is_some() && b.is_some());
+        });
+        sim.run();
+        assert_eq!(
+            fabric.node(node).mem().read_u64(addr),
+            2,
+            "seed {seed}: QP order violated"
+        );
+    }
+}
+
+#[test]
+fn dropped_receiver_still_applies_the_write() {
+    // Fire-and-forget background writes must land.
+    let (sim, fabric) = setup(7, FabricConfig::default(), 1);
+    let node = NodeId(0);
+    let addr = fabric.node(node).alloc(8, 8);
+    let ep = fabric.endpoint();
+    drop(ep.submit(
+        node,
+        vec![Op::Write {
+            addr,
+            data: 7u64.to_le_bytes().to_vec(),
+        }],
+    ));
+    sim.run();
+    assert_eq!(fabric.node(node).mem().read_u64(addr), 7);
+}
+
+#[test]
+fn traffic_stats_accumulate() {
+    let (sim, fabric) = setup(8, FabricConfig::default(), 1);
+    let node = NodeId(0);
+    let addr = fabric.node(node).alloc(64, 8);
+    let ep = fabric.endpoint();
+    sim.block_on(async move {
+        ep.read(node, addr, 64).await.unwrap();
+        ep.write(node, addr, vec![0; 64]).await.unwrap();
+    });
+    let s = fabric.stats();
+    assert_eq!(s.messages, 2);
+    assert!(s.bytes > 128);
+    assert_eq!(fabric.node(node).messages(), 2);
+}
+
+#[test]
+fn switch_saturation_adds_queuing_delay() {
+    // Blast many large writes concurrently: per-op latency must exceed the
+    // uncontended RTT because the shared switch serializes them.
+    let uncontended = one_write_latency(1, 1);
+    let contended = one_write_latency(64, 64);
+    assert!(
+        contended > uncontended * 3,
+        "no queuing under load: {uncontended} vs {contended}"
+    );
+}
+
+fn one_write_latency(writers: usize, measure_concurrency: usize) -> Nanos {
+    let (sim, fabric) = setup(9, FabricConfig::deterministic(), 1);
+    let node = NodeId(0);
+    let total = Rc::new(RefCell::new(0u64));
+    let count = Rc::new(RefCell::new(0u64));
+    for _ in 0..writers.min(measure_concurrency) {
+        let addr = fabric.node(node).alloc(8192, 8);
+        let ep = fabric.endpoint();
+        let total = Rc::clone(&total);
+        let count = Rc::clone(&count);
+        let sim2 = sim.clone();
+        sim.spawn(async move {
+            let t0 = sim2.now();
+            ep.write(node, addr, vec![0xEE; 8192]).await.unwrap();
+            *total.borrow_mut() += sim2.now() - t0;
+            *count.borrow_mut() += 1;
+        });
+    }
+    sim.run();
+    let t = *total.borrow() / *count.borrow();
+    t
+}

@@ -1,0 +1,423 @@
+//! The key-value client: SWARM-KV, DM-ABD and RAW behind one type.
+//!
+//! A [`KvClient`] is one application thread. It resolves key locations
+//! through its LFU cache or the index (§5.2), builds per-key register
+//! handles over the cluster's In-n-Out replicas, and executes the §5.3
+//! protocols. The [`Proto`] selects the replication machinery:
+//!
+//! * [`Proto::SafeGuess`] — SWARM-KV: Safe-Guess + timestamp locks.
+//! * [`Proto::Abd`] — DM-ABD: classic ABD over the same substrate (run it on
+//!   a cluster configured with `inplace = false, meta_bufs = 1`).
+//! * [`Proto::Raw`] — RAW: unreplicated direct reads/writes, no concurrency
+//!   control (the latency lower bound; "not useful in practice", §7).
+
+use std::cell::{Cell, RefCell};
+use std::rc::Rc;
+
+use swarm_core::{
+    Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser,
+    TsLock, WritePath,
+};
+use swarm_fabric::Endpoint;
+use swarm_sim::{join2, GuessClock};
+
+use crate::cache::LfuCache;
+use crate::cluster::{Cluster, KeyInfo};
+use crate::index::InsertOutcome;
+use crate::store::KvStore;
+
+/// Replication protocol driven by a [`KvClient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Proto {
+    /// SWARM-KV (Safe-Guess + In-n-Out).
+    SafeGuess,
+    /// DM-ABD baseline.
+    Abd,
+    /// RAW unreplicated baseline.
+    Raw,
+}
+
+/// Per-client knobs.
+#[derive(Debug, Clone)]
+pub struct KvClientConfig {
+    /// Location-cache capacity in entries (`usize::MAX` = effectively
+    /// unbounded, the default; Figure 6 limits it to 5 MiB worth).
+    pub cache_entries: usize,
+}
+
+impl Default for KvClientConfig {
+    fn default() -> Self {
+        KvClientConfig {
+            cache_entries: usize::MAX / 2,
+        }
+    }
+}
+
+type SgReg = SafeGuess<ReliableMaxReg<InnOutReplica>>;
+type AbdReg = Abd<ReliableMaxReg<InnOutReplica>>;
+
+enum HandleKind {
+    Sg(SgReg),
+    Abd(AbdReg),
+    Raw {
+        node: swarm_fabric::NodeId,
+        addr: u64,
+        len: usize,
+    },
+}
+
+/// A cached per-key access handle (the 24–32 B location record of §5.2,
+/// including In-n-Out's cached metadata word for SWARM-KV).
+pub struct KeyHandle {
+    generation: u64,
+    kind: HandleKind,
+}
+
+/// One client thread of a key-value store.
+pub struct KvClient {
+    cluster: Cluster,
+    proto: Proto,
+    client_id: usize,
+    ep: Rc<Endpoint>,
+    health: Rc<NodeHealth>,
+    rounds: Rounds,
+    guesser: Rc<TsGuesser>,
+    cache: RefCell<LfuCache<Rc<KeyHandle>>>,
+    version: Cell<u64>,
+}
+
+impl KvClient {
+    /// Creates client `client_id` (must be `< cluster.config().max_clients`
+    /// for replicated protocols).
+    pub fn new(cluster: &Cluster, proto: Proto, client_id: usize, cfg: KvClientConfig) -> Rc<Self> {
+        let cc = cluster.config();
+        if proto != Proto::Raw {
+            assert!(
+                client_id < cc.max_clients,
+                "client id beyond configured max_clients"
+            );
+        }
+        let sim = cluster.sim().clone();
+        let ep = Rc::new(cluster.fabric().endpoint());
+        let health = NodeHealth::new(cc.nodes);
+        cluster.membership().subscribe(Rc::clone(&health));
+        let clock = Rc::new(GuessClock::new(
+            &sim,
+            cc.clock_skew_ns,
+            cc.clock_drift_ppm,
+            (cc.clock_skew_ns / 2).max(1),
+        ));
+        let guesser = Rc::new(TsGuesser::new(clock, client_id as u8));
+        Rc::new(KvClient {
+            cluster: cluster.clone(),
+            proto,
+            client_id,
+            ep,
+            health,
+            rounds: Rounds::new(),
+            guesser,
+            cache: RefCell::new(LfuCache::new(cfg.cache_entries)),
+            version: Cell::new(0),
+        })
+    }
+
+    /// The protocol this client drives.
+    pub fn proto(&self) -> Proto {
+        self.proto
+    }
+
+    /// Cache hit/miss statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.borrow().stats()
+    }
+
+    /// Entries currently cached.
+    pub fn cache_len(&self) -> usize {
+        self.cache.borrow().len()
+    }
+
+    fn build_handle(&self, info: &Rc<KeyInfo>) -> Rc<KeyHandle> {
+        let cc = self.cluster.config();
+        let sim = self.cluster.sim();
+        let kind = match self.proto {
+            Proto::Raw => {
+                let l = &info.layouts[0];
+                HandleKind::Raw {
+                    node: l.node,
+                    addr: l.meta_addr + (l.meta_bufs * 8) as u64,
+                    len: cc.value_size,
+                }
+            }
+            Proto::SafeGuess | Proto::Abd => {
+                let replicas: Vec<InnOutReplica> = info
+                    .layouts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, l)| {
+                        InnOutReplica::new(
+                            Rc::clone(&self.ep),
+                            l.clone(),
+                            self.client_id,
+                            cc.inplace && i == 0,
+                            self.rounds.clone(),
+                        )
+                    })
+                    .collect();
+                let m = ReliableMaxReg::new(
+                    sim,
+                    replicas,
+                    info.replica_nodes.iter().map(|n| n.0).collect(),
+                    0,
+                    Rc::clone(&self.health),
+                    cc.quorum,
+                    self.rounds.clone(),
+                );
+                match self.proto {
+                    Proto::Abd => HandleKind::Abd(Abd::new(m, self.client_id as u8)),
+                    _ => {
+                        let tsl: Vec<TsLock> = (0..cc.max_clients)
+                            .map(|w| {
+                                let words: Vec<(swarm_fabric::NodeId, u64)> = info
+                                    .replica_nodes
+                                    .iter()
+                                    .zip(&info.tsl_base)
+                                    .map(|(&n, &base)| (n, base + 8 * w as u64))
+                                    .collect();
+                                TsLock::new(
+                                    sim,
+                                    Rc::clone(&self.ep),
+                                    words,
+                                    Rc::clone(&self.health),
+                                    cc.quorum,
+                                    self.rounds.clone(),
+                                )
+                            })
+                            .collect();
+                        HandleKind::Sg(SafeGuess::new(
+                            m,
+                            Rc::new(tsl),
+                            Rc::clone(&self.guesser),
+                            self.rounds.clone(),
+                        ))
+                    }
+                }
+            }
+        };
+        Rc::new(KeyHandle {
+            generation: info.generation,
+            kind,
+        })
+    }
+
+    /// Resolves the handle for `key`: cache hit is free; a miss costs one
+    /// index roundtrip (§7.1). `force_index` bypasses the cache (used after
+    /// observing a tombstone through possibly-stale cached replicas,
+    /// §5.3.3).
+    async fn handle_for(&self, key: u64, force_index: bool) -> Option<Rc<KeyHandle>> {
+        if !force_index {
+            if let Some(h) = self.cache.borrow_mut().get(key) {
+                return Some(Rc::clone(h));
+            }
+        }
+        self.rounds.bump();
+        let info = self.cluster.index().get(key).await?;
+        let h = self.build_handle(&info);
+        self.cache
+            .borrow_mut()
+            .insert(self.cluster.sim(), key, Rc::clone(&h));
+        Some(h)
+    }
+
+    fn uncache(&self, key: u64) {
+        self.cache.borrow_mut().remove(key);
+    }
+
+    async fn write_via(&self, h: &KeyHandle, value: Vec<u8>) -> bool {
+        match &h.kind {
+            HandleKind::Raw { node, addr, .. } => {
+                self.rounds.bump();
+                self.ep.write(*node, *addr, value).await;
+                true
+            }
+            HandleKind::Sg(reg) => !matches!(reg.write(value).await, WritePath::Deleted),
+            HandleKind::Abd(reg) => reg.write(value).await,
+        }
+    }
+
+    async fn read_via(&self, h: &KeyHandle) -> ReadResult {
+        match &h.kind {
+            HandleKind::Raw { node, addr, len } => {
+                self.rounds.bump();
+                match self.ep.read(*node, *addr, *len).await {
+                    Some(bytes) => ReadResult::Value(Rc::new(bytes)),
+                    None => ReadResult::Missing,
+                }
+            }
+            HandleKind::Sg(reg) => {
+                let out = reg.read().await;
+                if out.value.is_tombstone() {
+                    ReadResult::Deleted
+                } else if out.value.is_initial() {
+                    ReadResult::Missing
+                } else {
+                    ReadResult::Value(out.value.value)
+                }
+            }
+            HandleKind::Abd(reg) => {
+                let v = reg.read().await;
+                if v.is_tombstone() {
+                    ReadResult::Deleted
+                } else if v.is_initial() {
+                    ReadResult::Missing
+                } else {
+                    ReadResult::Value(v.value)
+                }
+            }
+        }
+    }
+
+    /// Monotonic per-client version counter (value payload generator).
+    pub fn next_version(&self) -> u64 {
+        let v = self.version.get() + 1;
+        self.version.set(v);
+        v
+    }
+}
+
+enum ReadResult {
+    Value(Rc<Vec<u8>>),
+    Deleted,
+    Missing,
+}
+
+impl KvStore for KvClient {
+    /// `get` (§5.3.4): locate replicas (cache or index), SWARM read. A
+    /// tombstone through a cached handle flushes the cache and retries once
+    /// through the index (the key may have been re-inserted elsewhere).
+    async fn get(&self, key: u64) -> Option<Rc<Vec<u8>>> {
+        for attempt in 0..2 {
+            let h = self.handle_for(key, attempt > 0).await?;
+            match self.read_via(&h).await {
+                ReadResult::Value(v) => return Some(v),
+                ReadResult::Missing => return None,
+                ReadResult::Deleted => {
+                    self.uncache(key);
+                    if attempt > 0 {
+                        return None;
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// `update` (§5.3.3): SWARM write to the located replicas; a write
+    /// rejected by a tombstone flushes the cache, cleans the index mapping
+    /// and retries once.
+    async fn update(&self, key: u64, value: Vec<u8>) -> bool {
+        for attempt in 0..2 {
+            let Some(h) = self.handle_for(key, attempt > 0).await else {
+                return false;
+            };
+            let old_gen = h.generation;
+            if self.write_via(&h, value.clone()).await {
+                return true;
+            }
+            self.uncache(key);
+            if attempt > 0 {
+                // Still tombstoned through fresh state: clean up the stale
+                // mapping in the background (the deleter may have failed).
+                let index = self.cluster.index().clone();
+                let k = key;
+                let _ = old_gen;
+                self.cluster.sim().spawn(async move {
+                    index.remove(k).await;
+                });
+                return false;
+            }
+        }
+        false
+    }
+
+    /// `insert` (§5.3.1): allocate fresh replicas from the client's pool and
+    /// replicate the value *in parallel* with the index insertion — one
+    /// roundtrip in the common case. If a live mapping exists, the insert
+    /// turns into an update on the existing replicas.
+    async fn insert(&self, key: u64, value: Vec<u8>) -> bool {
+        // Fast path: known key -> plain update.
+        if self.cache.borrow_mut().get(key).is_some() {
+            if self.update(key, value.clone()).await {
+                return true;
+            }
+        }
+        let info = self.cluster.alloc_key(key);
+        let h = self.build_handle(&info);
+        let index = self.cluster.index().clone();
+        let ins = index.try_insert(key, Rc::clone(&info));
+        let write = self.write_via(&h, value.clone());
+        let ((outcome, existing), _wrote) = join2(ins, write).await;
+        match outcome {
+            InsertOutcome::Inserted => {
+                self.cache
+                    .borrow_mut()
+                    .insert(self.cluster.sim(), key, h);
+                true
+            }
+            InsertOutcome::Exists => {
+                // Someone holds a mapping: write through it instead (our
+                // fresh buffers stay unindexed and are recycled).
+                let existing = existing.expect("Exists implies a mapping");
+                let h2 = self.build_handle(&existing);
+                if self.write_via(&h2, value.clone()).await {
+                    self.cache
+                        .borrow_mut()
+                        .insert(self.cluster.sim(), key, h2);
+                    true
+                } else {
+                    // The existing mapping is tombstoned: overwrite it with
+                    // our fresh replicas (§5.3.1 "a mapping to replicas
+                    // marked for deletion is overwritten").
+                    self.rounds.bump();
+                    index.set(key, Rc::clone(&info)).await;
+                    self.cache
+                        .borrow_mut()
+                        .insert(self.cluster.sim(), key, h);
+                    true
+                }
+            }
+        }
+    }
+
+    /// `delete` (§5.3.2): a SWARM write of the maximum timestamp, then an
+    /// asynchronous index unmap.
+    async fn delete(&self, key: u64) -> bool {
+        let Some(h) = self.handle_for(key, false).await else {
+            return false;
+        };
+        match &h.kind {
+            HandleKind::Raw { .. } => {
+                self.rounds.bump();
+            }
+            HandleKind::Sg(reg) => reg.write_tombstone().await,
+            HandleKind::Abd(reg) => reg.write_tombstone().await,
+        }
+        self.uncache(key);
+        let index = self.cluster.index().clone();
+        self.cluster.sim().spawn(async move {
+            index.remove(key).await;
+        });
+        true
+    }
+
+    fn rounds(&self) -> u64 {
+        self.rounds.get()
+    }
+
+    fn endpoint(&self) -> Rc<Endpoint> {
+        Rc::clone(&self.ep)
+    }
+
+    fn client_id(&self) -> usize {
+        self.client_id
+    }
+}

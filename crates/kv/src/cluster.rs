@@ -1,0 +1,351 @@
+//! Cluster setup: memory-node layout allocation and bulk loading.
+//!
+//! A [`Cluster`] owns the fabric, the index, and the control-plane registry
+//! of per-key allocations ([`KeyInfo`]). Allocation itself is a
+//! control-plane action — the paper's clients pre-allocate cleared buffers
+//! so inserts complete in one roundtrip (§5.3.1) — and bulk loading (the
+//! YCSB load phase, which the paper does not measure) pokes node memory
+//! directly.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use swarm_core::{innout_hash, InnOutLayout, QuorumConfig, Stamp};
+use swarm_fabric::{Fabric, FabricConfig, NodeId};
+use swarm_sim::Sim;
+
+use crate::index::Index;
+use crate::membership::Membership;
+
+/// Thread id reserved for the control-plane loader (must never collide with
+/// a client tid; clients are numbered from 0).
+pub const LOADER_TID: u8 = 254;
+
+/// Cluster shape and protocol parameters.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Memory nodes (the paper's testbed has 4).
+    pub nodes: usize,
+    /// Replicas per key (3 by default; 5/7 in Figure 10).
+    pub replicas: usize,
+    /// Fixed value size in bytes.
+    pub value_size: usize,
+    /// Maximum client count (sizes metadata arrays, lock words, slot rings).
+    pub max_clients: usize,
+    /// In-n-Out metadata words per key (§4.4; the paper recommends one per
+    /// client, Figure 13).
+    pub meta_bufs: usize,
+    /// Whether VERIFIED writes lazily store in-place data at the designated
+    /// replica (`false` = the "Out-P." variant of Figure 9).
+    pub inplace: bool,
+    /// Out-of-place slots per writer per key (ring-recycled).
+    pub oop_slots_per_writer: usize,
+    /// Fabric latency model.
+    pub fabric: FabricConfig,
+    /// Quorum timing.
+    pub quorum: QuorumConfig,
+    /// Client clock skew bound in nanoseconds (guess quality, §6).
+    pub clock_skew_ns: i64,
+    /// Client clock drift in ppm.
+    pub clock_drift_ppm: f64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 4,
+            replicas: 3,
+            value_size: 64,
+            max_clients: 4,
+            meta_bufs: 4,
+            inplace: true,
+            oop_slots_per_writer: 2,
+            fabric: FabricConfig::default(),
+            quorum: QuorumConfig::default(),
+            clock_skew_ns: 400,
+            clock_drift_ppm: 5.0,
+        }
+    }
+}
+
+/// Control-plane record of one key's replica allocation.
+#[derive(Debug, Clone)]
+pub struct KeyInfo {
+    /// The key.
+    pub key: u64,
+    /// Replica memory nodes; index 0 is the in-place-designated replica.
+    pub replica_nodes: Vec<NodeId>,
+    /// One In-n-Out layout per replica.
+    pub layouts: Vec<InnOutLayout>,
+    /// Per replica: base address of `max_clients` timestamp-lock words.
+    pub tsl_base: Vec<u64>,
+    /// Out-of-place slot reserved for the bulk loader.
+    pub loader_slot: u16,
+    /// Allocation generation (re-inserts after delete get fresh buffers).
+    pub generation: u64,
+}
+
+struct Inner {
+    sim: Sim,
+    fabric: Fabric,
+    cfg: ClusterConfig,
+    index: Index<Rc<KeyInfo>>,
+    membership: Membership,
+    keys: RefCell<HashMap<u64, Rc<KeyInfo>>>,
+    generation: std::cell::Cell<u64>,
+}
+
+/// Handle to a cluster (cheaply cloneable).
+#[derive(Clone)]
+pub struct Cluster {
+    inner: Rc<Inner>,
+}
+
+impl Cluster {
+    /// Creates a cluster: fabric + index + membership.
+    pub fn new(sim: &Sim, cfg: ClusterConfig) -> Self {
+        assert!(cfg.replicas >= 1);
+        assert!(cfg.max_clients >= 1 && cfg.max_clients <= 200);
+        assert!(cfg.meta_bufs >= 1);
+        let fabric = Fabric::new(sim, cfg.fabric.clone(), cfg.nodes);
+        let membership = Membership::with_default_detection(sim, &fabric);
+        Cluster {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                fabric,
+                cfg,
+                index: Index::new(sim),
+                membership,
+                keys: RefCell::new(HashMap::new()),
+                generation: std::cell::Cell::new(0),
+            }),
+        }
+    }
+
+    /// The simulation.
+    pub fn sim(&self) -> &Sim {
+        &self.inner.sim
+    }
+
+    /// The fabric.
+    pub fn fabric(&self) -> &Fabric {
+        &self.inner.fabric
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.inner.cfg
+    }
+
+    /// The index service.
+    pub fn index(&self) -> &Index<Rc<KeyInfo>> {
+        &self.inner.index
+    }
+
+    /// The membership service.
+    pub fn membership(&self) -> &Membership {
+        &self.inner.membership
+    }
+
+    /// Replica node ids for `key`: `replicas` consecutive nodes starting at
+    /// a key-hashed offset (spreads load; with 4 nodes and 5+ replicas some
+    /// nodes host 2 replicas, as in §7.5).
+    pub fn replica_nodes_for(&self, key: u64) -> Vec<NodeId> {
+        let cfg = &self.inner.cfg;
+        let start = (swarm_core::xxh64(&key.to_le_bytes(), 0xC0FFEE) % cfg.nodes as u64) as usize;
+        (0..cfg.replicas)
+            .map(|i| NodeId((start + i) % cfg.nodes))
+            .collect()
+    }
+
+    /// Allocates buffers for one key on its replica nodes (control plane:
+    /// clients draw from pre-allocated pools, §5.3.1).
+    pub fn alloc_key(&self, key: u64) -> Rc<KeyInfo> {
+        let cfg = &self.inner.cfg;
+        let nodes = self.replica_nodes_for(key);
+        let oop_slots = cfg.max_clients * cfg.oop_slots_per_writer + 1;
+        let loader_slot = (oop_slots - 1) as u16;
+        let mut layouts = Vec::with_capacity(nodes.len());
+        let mut tsl_base = Vec::with_capacity(nodes.len());
+        for &n in &nodes {
+            layouts.push(InnOutLayout::allocate(
+                &self.inner.fabric,
+                n,
+                cfg.meta_bufs,
+                cfg.value_size,
+                oop_slots,
+                cfg.max_clients,
+            ));
+            tsl_base.push(
+                self.inner
+                    .fabric
+                    .node(n)
+                    .alloc(8 * cfg.max_clients as u64, 8),
+            );
+        }
+        let generation = self.inner.generation.get();
+        self.inner.generation.set(generation + 1);
+        let info = Rc::new(KeyInfo {
+            key,
+            replica_nodes: nodes,
+            layouts,
+            tsl_base,
+            loader_slot,
+            generation,
+        });
+        self.inner.keys.borrow_mut().insert(key, Rc::clone(&info));
+        info
+    }
+
+    /// Bulk-loads `key = value` (control plane, no network cost): allocates
+    /// buffers, pokes replica memory into the state a completed `VERIFIED`
+    /// write would leave, and registers the index mapping.
+    pub fn load_key(&self, key: u64, value: &[u8]) -> Rc<KeyInfo> {
+        let cfg = &self.inner.cfg;
+        assert_eq!(value.len(), cfg.value_size, "fixed-size values");
+        let info = self.alloc_key(key);
+        let stamp = Stamp::verified(1, LOADER_TID);
+        for (i, layout) in info.layouts.iter().enumerate() {
+            let node = self.inner.fabric.node(layout.node);
+            let word = (stamp.pack48() << 16) | info.loader_slot as u64;
+            // Out-of-place slot: [meta | hash | value].
+            let slot_addr = layout.oop_addr
+                + info.loader_slot as u64 * (16 + cfg.value_size) as u64;
+            node.mem().write_u64(slot_addr, word);
+            node.mem()
+                .write_u64(slot_addr + 8, innout_hash(word, value));
+            node.mem().write(slot_addr + 16, value);
+            // Metadata word 0 points at it.
+            node.mem().write_u64(layout.meta_addr, word);
+            // In-place copy at the designated replica.
+            if cfg.inplace && i == 0 {
+                let inplace = layout.meta_addr + (layout.meta_bufs * 8) as u64;
+                node.mem().write(inplace, value);
+                node.mem()
+                    .write_u64(inplace + cfg.value_size as u64, innout_hash(word, value));
+            }
+        }
+        self.inner.index.load(key, Rc::clone(&info));
+        info
+    }
+
+    /// Bulk-loads keys `0..n` with `make_value(key)` payloads.
+    pub fn load_keys(&self, n: u64, mut make_value: impl FnMut(u64) -> Vec<u8>) {
+        for key in 0..n {
+            self.load_key(key, &make_value(key));
+        }
+    }
+
+    /// Control-plane lookup of a key's allocation.
+    pub fn key_info(&self, key: u64) -> Option<Rc<KeyInfo>> {
+        self.inner.keys.borrow().get(&key).cloned()
+    }
+
+    /// Crashes a memory node (Figure 11).
+    pub fn crash_node(&self, node: NodeId) {
+        self.inner.fabric.crash_node(node);
+    }
+
+    /// *Modeled* per-key disaggregated-memory footprint in bytes, counting
+    /// live data once (slot rings are recycled storage): per replica one
+    /// out-of-place value + slot header + metadata array (+ lock words for
+    /// Safe-Guess), plus the in-place copy at the designated replica.
+    /// This is the accounting behind Table 3.
+    pub fn modeled_bytes_per_key(&self, with_tslocks: bool) -> u64 {
+        let cfg = &self.inner.cfg;
+        let per_replica = (16 + cfg.value_size) as u64
+            + 8 * cfg.meta_bufs as u64
+            + if with_tslocks {
+                8 * cfg.max_clients as u64
+            } else {
+                0
+            };
+        let inplace = if cfg.inplace {
+            (cfg.value_size + 8) as u64
+        } else {
+            0
+        };
+        cfg.replicas as u64 * per_replica + inplace + 24 // key record
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_placement_is_deterministic_and_spread() {
+        let sim = Sim::new(1);
+        let c = Cluster::new(&sim, ClusterConfig::default());
+        let a = c.replica_nodes_for(1);
+        let b = c.replica_nodes_for(1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 3);
+        // Different keys should land on different starting nodes sometimes.
+        let starts: std::collections::HashSet<_> =
+            (0..32).map(|k| c.replica_nodes_for(k)[0]).collect();
+        assert!(starts.len() > 1);
+    }
+
+    #[test]
+    fn seven_replicas_on_four_nodes_reuse_nodes() {
+        let sim = Sim::new(2);
+        let c = Cluster::new(
+            &sim,
+            ClusterConfig {
+                replicas: 7,
+                ..Default::default()
+            },
+        );
+        let nodes = c.replica_nodes_for(3);
+        assert_eq!(nodes.len(), 7);
+        let distinct: std::collections::HashSet<_> = nodes.iter().collect();
+        assert_eq!(distinct.len(), 4);
+    }
+
+    #[test]
+    fn load_key_registers_index_and_memory() {
+        let sim = Sim::new(3);
+        let c = Cluster::new(&sim, ClusterConfig::default());
+        let v = vec![7u8; 64];
+        let info = c.load_key(9, &v);
+        assert!(c.index().peek(9).is_some());
+        assert_eq!(info.layouts.len(), 3);
+        // The designated replica holds a valid in-place copy.
+        let l = &info.layouts[0];
+        let node = c.fabric().node(l.node);
+        let word = node.mem().read_u64(l.meta_addr);
+        assert_ne!(word, 0);
+        let inplace = l.meta_addr + (l.meta_bufs * 8) as u64;
+        assert_eq!(node.mem().read(inplace, 64), v);
+    }
+
+    #[test]
+    fn modeled_bytes_match_table3_shape() {
+        // 1 KiB values, 4 clients, 3 replicas: SWARM ~4.1 KiB/key,
+        // DM-ABD-like (no inplace, 1 buf, no locks) ~3.1 KiB/key.
+        let sim = Sim::new(4);
+        let swarm = Cluster::new(
+            &sim,
+            ClusterConfig {
+                value_size: 1024,
+                ..Default::default()
+            },
+        );
+        let abd = Cluster::new(
+            &sim,
+            ClusterConfig {
+                value_size: 1024,
+                meta_bufs: 1,
+                inplace: false,
+                ..Default::default()
+            },
+        );
+        let s = swarm.modeled_bytes_per_key(true);
+        let a = abd.modeled_bytes_per_key(false);
+        assert!(s > a);
+        let ratio = s as f64 / a as f64;
+        assert!((1.2..1.5).contains(&ratio), "SWARM/DM-ABD ratio {ratio}");
+    }
+}

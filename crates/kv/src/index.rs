@@ -1,0 +1,203 @@
+//! The reliable index service (§5.2).
+//!
+//! SWARM-KV "is oblivious to the choice of index, as long as it is reliable
+//! and allows clients to set and get the replicas associated to a key in a
+//! single roundtrip in the common case". The paper uses FUSEE's index
+//! modified for strong consistency; we model it as a fault-tolerant keyed
+//! service running on traditional servers: every operation costs one
+//! roundtrip of the same wire model as the fabric plus a small service time,
+//! serialized through the index server's CPU.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use swarm_sim::{oneshot, FifoResource, Jitter, Nanos, Sim};
+
+/// Outcome of [`Index::try_insert`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InsertOutcome {
+    /// The mapping was created.
+    Inserted,
+    /// A live mapping already exists (caller should fall back to update,
+    /// §5.3.1).
+    Exists,
+}
+
+struct Inner<L> {
+    sim: Sim,
+    map: RefCell<HashMap<u64, L>>,
+    cpu: FifoResource,
+    wire: Jitter,
+    service_ns: Nanos,
+    ops: Cell<u64>,
+    bytes: Cell<u64>,
+}
+
+/// A strongly consistent, always-available index mapping keys to replica
+/// locations `L`.
+pub struct Index<L> {
+    inner: Rc<Inner<L>>,
+}
+
+impl<L> Clone for Index<L> {
+    fn clone(&self) -> Self {
+        Index {
+            inner: Rc::clone(&self.inner),
+        }
+    }
+}
+
+/// Modeled wire size of one index request+response (key + location record).
+pub const INDEX_MSG_BYTES: u64 = 24 + 24 + 60;
+
+impl<L: Clone + 'static> Index<L> {
+    /// Creates an index with the default latency model (one fabric-like
+    /// roundtrip per operation).
+    pub fn new(sim: &Sim) -> Self {
+        Index {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                map: RefCell::new(HashMap::new()),
+                cpu: FifoResource::new(sim),
+                wire: Jitter::fabric(640.0),
+                service_ns: 150,
+                ops: Cell::new(0),
+                bytes: Cell::new(0),
+            }),
+        }
+    }
+
+    async fn roundtrip(&self) {
+        let inner = &self.inner;
+        inner.ops.set(inner.ops.get() + 1);
+        inner.bytes.set(inner.bytes.get() + INDEX_MSG_BYTES);
+        let out = inner.wire.sample(&inner.sim);
+        let (tx, rx) = oneshot::<()>();
+        let this = Rc::clone(inner);
+        let sim = inner.sim.clone();
+        sim.clone().schedule_after(out, move |s| {
+            // Server-side service, then the reply flies back.
+            let (_, done) = this.cpu.reserve(this.service_ns);
+            let back = this.wire.sample(s);
+            s.schedule_at(done + back, move |_| tx.send(()));
+        });
+        rx.await;
+    }
+
+    /// Looks up a key (1 RTT).
+    pub async fn get(&self, key: u64) -> Option<L> {
+        self.roundtrip().await;
+        self.inner.map.borrow().get(&key).cloned()
+    }
+
+    /// Inserts a mapping unless one exists (1 RTT). On `Exists`, the caller
+    /// receives the existing mapping via [`Index::get`]'s cache-equivalent
+    /// return.
+    pub async fn try_insert(&self, key: u64, loc: L) -> (InsertOutcome, Option<L>) {
+        self.roundtrip().await;
+        let mut map = self.inner.map.borrow_mut();
+        match map.get(&key) {
+            Some(existing) => (InsertOutcome::Exists, Some(existing.clone())),
+            None => {
+                map.insert(key, loc);
+                (InsertOutcome::Inserted, None)
+            }
+        }
+    }
+
+    /// Overwrites a mapping unconditionally (1 RTT).
+    pub async fn set(&self, key: u64, loc: L) {
+        self.roundtrip().await;
+        self.inner.map.borrow_mut().insert(key, loc);
+    }
+
+    /// Removes a mapping (1 RTT).
+    pub async fn remove(&self, key: u64) {
+        self.roundtrip().await;
+        self.inner.map.borrow_mut().remove(&key);
+    }
+
+    /// Control-plane bulk insert: no network cost (used by experiment
+    /// loaders, which the paper does not measure).
+    pub fn load(&self, key: u64, loc: L) {
+        self.inner.map.borrow_mut().insert(key, loc);
+    }
+
+    /// Control-plane lookup without network cost (tests / recycling scans).
+    pub fn peek(&self, key: u64) -> Option<L> {
+        self.inner.map.borrow().get(&key).cloned()
+    }
+
+    /// Number of live mappings.
+    pub fn len(&self) -> usize {
+        self.inner.map.borrow().len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `(operations served, bytes transferred)`.
+    pub fn traffic(&self) -> (u64, u64) {
+        (self.inner.ops.get(), self.inner.bytes.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_remove_roundtrip() {
+        let sim = Sim::new(1);
+        let idx: Index<u32> = Index::new(&sim);
+        let i2 = idx.clone();
+        sim.block_on(async move {
+            assert_eq!(i2.get(5).await, None);
+            i2.set(5, 99).await;
+            assert_eq!(i2.get(5).await, Some(99));
+            i2.remove(5).await;
+            assert_eq!(i2.get(5).await, None);
+        });
+        assert_eq!(idx.traffic().0, 5);
+    }
+
+    #[test]
+    fn lookup_costs_one_roundtrip() {
+        let sim = Sim::new(2);
+        let idx: Index<u32> = Index::new(&sim);
+        let s = sim.clone();
+        let rtt = sim.block_on(async move {
+            let t0 = s.now();
+            idx.get(1).await;
+            s.now() - t0
+        });
+        assert!((1_000..3_000).contains(&rtt), "index RTT {rtt}");
+    }
+
+    #[test]
+    fn try_insert_detects_existing() {
+        let sim = Sim::new(3);
+        let idx: Index<u32> = Index::new(&sim);
+        sim.block_on(async move {
+            let (o1, _) = idx.try_insert(7, 1).await;
+            assert_eq!(o1, InsertOutcome::Inserted);
+            let (o2, existing) = idx.try_insert(7, 2).await;
+            assert_eq!(o2, InsertOutcome::Exists);
+            assert_eq!(existing, Some(1));
+            assert_eq!(idx.get(7).await, Some(1));
+        });
+    }
+
+    #[test]
+    fn load_and_peek_are_free() {
+        let sim = Sim::new(4);
+        let idx: Index<u32> = Index::new(&sim);
+        idx.load(1, 10);
+        assert_eq!(idx.peek(1), Some(10));
+        assert_eq!(idx.traffic(), (0, 0));
+        assert_eq!(idx.len(), 1);
+    }
+}

@@ -1,0 +1,36 @@
+//! SWARM-KV (§5): a low-latency, strongly consistent, highly available
+//! disaggregated key-value store — plus the paper's three baselines.
+//!
+//! * [`KvClient`] with [`Proto::SafeGuess`] is **SWARM-KV**: clients access
+//!   key-value pairs replicated over memory nodes directly, with
+//!   single-roundtrip `insert`/`update`/`get`/`delete` in the common case.
+//! * [`Proto::Abd`] is **DM-ABD**: the same substrate driven by classic ABD
+//!   with pure out-of-place updates (no in-place data, one shared metadata
+//!   word) — the "good engineering solution using known techniques" (§7).
+//! * [`Proto::Raw`] is **RAW**: unreplicated, no concurrency control; the
+//!   latency lower bound.
+//! * [`FuseeKv`] models **FUSEE** (FAST '23), the state-of-the-art
+//!   synchronously replicated disaggregated KV the paper compares against.
+//!
+//! Supporting services: a reliable [`Index`] (§5.2), an approximated-LFU
+//! location [`cache`](LfuCache) (§7.1), and a lease-based [`Membership`]
+//! service standing in for uKharon (§5.4). [`runner`] drives YCSB workloads
+//! against any store and produces the statistics the paper's figures report.
+
+mod cache;
+mod client;
+mod cluster;
+mod fusee;
+mod index;
+mod membership;
+mod runner;
+mod store;
+
+pub use cache::LfuCache;
+pub use client::{KvClient, KvClientConfig, Proto};
+pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
+pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
+pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
+pub use membership::Membership;
+pub use runner::{run_workload, RunConfig, RunStats};
+pub use store::KvStore;

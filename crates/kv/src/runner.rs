@@ -1,0 +1,264 @@
+//! YCSB workload runner: drives clients against a store and collects the
+//! statistics the paper's figures report (latency histograms/CDFs,
+//! throughput, per-op roundtrips, time series around failures).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use swarm_sim::{Histogram, Nanos, Sim, TimeSeries, NANOS_PER_SEC};
+use swarm_workload::{OpType, Workload};
+
+use crate::store::KvStore;
+
+/// Run parameters.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Unmeasured warm-up operations (total across clients).
+    pub warmup_ops: u64,
+    /// Measured operations (total across clients).
+    pub measure_ops: u64,
+    /// Concurrent operations per client (§7.2: 1–8).
+    pub concurrency: usize,
+    /// Client-side CPU work per operation (workload generation, cache
+    /// lookup, completion processing) in nanoseconds.
+    pub op_overhead_ns: Nanos,
+    /// Record a time series with this bucket width (Figure 11).
+    pub bucket_ns: Option<Nanos>,
+    /// Stop issuing operations after this virtual time (Figure 11 runs for
+    /// a fixed duration instead of an op count).
+    pub deadline_ns: Option<Nanos>,
+    /// Record per-op roundtrip counts (only meaningful at concurrency 1).
+    pub record_rtts: bool,
+    /// Open-loop pacing: issue one op per worker every this many
+    /// nanoseconds (Table 3 fixes clients at 200 kops each).
+    pub pace_ns: Option<Nanos>,
+    /// Touch every key in `0..n` once per client before the warm-up
+    /// (steady-state location caches, as after the paper's 1M-op warm-up).
+    pub prewarm_keys: Option<u64>,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            warmup_ops: 10_000,
+            measure_ops: 50_000,
+            concurrency: 1,
+            op_overhead_ns: 1_000,
+            bucket_ns: None,
+            deadline_ns: None,
+            record_rtts: false,
+            pace_ns: None,
+            prewarm_keys: None,
+        }
+    }
+}
+
+/// Collected results.
+#[derive(Debug, Default)]
+pub struct RunStats {
+    /// Latency histogram per op type.
+    pub latency: HashMap<OpType, Histogram>,
+    /// Roundtrip-count histogram per op type (`rtts -> ops`).
+    pub rtts: HashMap<OpType, HashMap<u64, u64>>,
+    /// Per-bucket throughput/latency over time.
+    pub series: Option<TimeSeries>,
+    /// Measured operations completed.
+    pub measured_ops: u64,
+    /// Operations that returned failure/absence.
+    pub failed_ops: u64,
+    /// First measured-op start time.
+    pub start_ns: Nanos,
+    /// Last measured-op completion time.
+    pub end_ns: Nanos,
+}
+
+impl RunStats {
+    /// Overall measured throughput in operations per second.
+    pub fn throughput_ops(&self) -> f64 {
+        if self.end_ns <= self.start_ns {
+            return 0.0;
+        }
+        self.measured_ops as f64 * NANOS_PER_SEC as f64 / (self.end_ns - self.start_ns) as f64
+    }
+
+    /// Latency histogram for one op type (empty histogram if none ran).
+    pub fn lat(&self, op: OpType) -> Histogram {
+        self.latency.get(&op).cloned().unwrap_or_default()
+    }
+
+    /// Fraction of `op` operations that used exactly `r` roundtrips.
+    pub fn rtt_fraction(&self, op: OpType, r: u64) -> f64 {
+        let Some(m) = self.rtts.get(&op) else {
+            return 0.0;
+        };
+        let total: u64 = m.values().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        *m.get(&r).unwrap_or(&0) as f64 / total as f64
+    }
+
+    /// The roundtrip count at percentile `p` for `op`.
+    pub fn rtt_percentile(&self, op: OpType, p: f64) -> u64 {
+        let Some(m) = self.rtts.get(&op) else {
+            return 0;
+        };
+        let total: u64 = m.values().sum();
+        if total == 0 {
+            return 0;
+        }
+        let target = (p / 100.0 * total as f64).ceil() as u64;
+        let mut keys: Vec<_> = m.keys().copied().collect();
+        keys.sort_unstable();
+        let mut acc = 0;
+        for k in keys {
+            acc += m[&k];
+            if acc >= target {
+                return k;
+            }
+        }
+        0
+    }
+}
+
+struct Shared {
+    warmup_left: u64,
+    measure_left: u64,
+    stats: RunStats,
+    version: u64,
+    active_workers: usize,
+}
+
+/// Runs `workload` against the given store handles (one per client) and
+/// returns the collected statistics. Drives the simulation internally.
+pub fn run_workload<S: KvStore + 'static>(
+    sim: &Sim,
+    stores: &[Rc<S>],
+    workload: &Workload,
+    cfg: &RunConfig,
+) -> RunStats {
+    let shared = Rc::new(RefCell::new(Shared {
+        warmup_left: cfg.warmup_ops,
+        measure_left: cfg.measure_ops,
+        stats: RunStats {
+            series: cfg.bucket_ns.map(TimeSeries::new),
+            ..Default::default()
+        },
+        version: 0,
+        active_workers: stores.len() * cfg.concurrency,
+    }));
+
+    for store in stores {
+        for _ in 0..cfg.concurrency {
+            let store = Rc::clone(store);
+            let sim2 = sim.clone();
+            let shared = Rc::clone(&shared);
+            let workload = workload.clone();
+            let cfg = cfg.clone();
+            sim.spawn(async move {
+                if let Some(n) = cfg.prewarm_keys {
+                    for key in 0..n {
+                        store.get(key).await;
+                    }
+                }
+                run_worker(&sim2, store, &workload, &cfg, &shared).await;
+                shared.borrow_mut().active_workers -= 1;
+            });
+        }
+    }
+
+    // Drive until every worker finished (background tasks may continue; the
+    // stats below are already final).
+    loop {
+        let horizon = sim.now() + 50 * swarm_sim::NANOS_PER_MILLI;
+        sim.run_until(horizon);
+        if shared.borrow().active_workers == 0 {
+            break;
+        }
+        assert!(
+            sim.live_tasks() > 0,
+            "simulation drained with workers still pending"
+        );
+    }
+
+    let shared = Rc::try_unwrap(shared).ok().expect("workers still hold state");
+    shared.into_inner().stats
+}
+
+async fn run_worker<S: KvStore>(
+    sim: &Sim,
+    store: Rc<S>,
+    workload: &Workload,
+    cfg: &RunConfig,
+    shared: &Rc<RefCell<Shared>>,
+) {
+    let mut next_at = sim.now();
+    loop {
+        if let Some(pace) = cfg.pace_ns {
+            sim.sleep_until(next_at).await;
+            next_at += pace;
+        }
+        // Claim an operation slot.
+        let measuring = {
+            let mut sh = shared.borrow_mut();
+            if sh.warmup_left > 0 {
+                sh.warmup_left -= 1;
+                false
+            } else if sh.measure_left > 0 {
+                sh.measure_left -= 1;
+                true
+            } else {
+                return;
+            }
+        };
+        if let Some(deadline) = cfg.deadline_ns {
+            if sim.now() >= deadline {
+                return;
+            }
+        }
+
+        // Client-side per-op CPU work (keeps per-core throughput honest,
+        // §7.2).
+        store.endpoint().work(cfg.op_overhead_ns).await;
+
+        let (op, key) = workload.next_op(sim.rand_u64(), sim.rand_f64());
+        let version = {
+            let mut sh = shared.borrow_mut();
+            sh.version += 1;
+            sh.version
+        };
+        let value = workload.value_for(key, version);
+
+        let r0 = store.rounds();
+        let t0 = sim.now();
+        let ok = match op {
+            OpType::Get => store.get(key).await.is_some(),
+            OpType::Update => store.update(key, value).await,
+            OpType::Insert => store.insert(key, value).await,
+            OpType::Delete => store.delete(key).await,
+        };
+        let t1 = sim.now();
+
+        if measuring {
+            let mut sh = shared.borrow_mut();
+            let st = &mut sh.stats;
+            if st.measured_ops == 0 {
+                st.start_ns = t0;
+            }
+            st.measured_ops += 1;
+            st.end_ns = st.end_ns.max(t1);
+            if !ok {
+                st.failed_ops += 1;
+            }
+            st.latency.entry(op).or_default().record(t1 - t0);
+            if let Some(series) = &mut st.series {
+                series.record(t1, t1 - t0);
+            }
+            if cfg.record_rtts {
+                let used = store.rounds() - r0;
+                *st.rtts.entry(op).or_default().entry(used).or_insert(0) += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,36 @@
+//! The store interface shared by SWARM-KV, DM-ABD, RAW and FUSEE.
+
+use std::future::Future;
+use std::rc::Rc;
+
+use swarm_fabric::Endpoint;
+
+/// A key-value store client, one per application thread.
+///
+/// All methods take `&self`; handles use interior mutability so a client can
+/// drive several concurrent operations (§7.2's 1–8 ops in flight).
+pub trait KvStore {
+    /// Reads a key; `None` if absent or deleted.
+    fn get(&self, key: u64) -> impl Future<Output = Option<Rc<Vec<u8>>>> + '_;
+
+    /// Overwrites a key; `false` if the key is not indexed or was deleted
+    /// (§5.3.3).
+    fn update(&self, key: u64, value: Vec<u8>) -> impl Future<Output = bool> + '_;
+
+    /// Inserts a key (turns into an update if a live mapping exists,
+    /// §5.3.1); `false` only on failure.
+    fn insert(&self, key: u64, value: Vec<u8>) -> impl Future<Output = bool> + '_;
+
+    /// Deletes a key; `false` if it was not present.
+    fn delete(&self, key: u64) -> impl Future<Output = bool> + '_;
+
+    /// Cumulative foreground roundtrips performed by this client (the
+    /// runner differences this around sequential ops for Table 2).
+    fn rounds(&self) -> u64;
+
+    /// This client's fabric endpoint (CPU + traffic accounting).
+    fn endpoint(&self) -> Rc<Endpoint>;
+
+    /// Client id (0-based).
+    fn client_id(&self) -> usize;
+}

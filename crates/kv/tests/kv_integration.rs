@@ -1,0 +1,342 @@
+//! End-to-end tests of the four key-value stores: protocol semantics
+//! (§5.3), Table 2 roundtrip counts, and §7.1 latency calibration.
+
+use std::rc::Rc;
+
+use swarm_kv::{
+    run_workload, Cluster, ClusterConfig, FuseeCluster, FuseeKv, KvClient, KvClientConfig,
+    KvStore, Proto, RunConfig,
+};
+use swarm_sim::Sim;
+use swarm_workload::{OpType, Workload, WorkloadSpec};
+
+fn swarm_cluster(sim: &Sim, n_keys: u64) -> Cluster {
+    let c = Cluster::new(sim, ClusterConfig::default());
+    c.load_keys(n_keys, |k| vec![k as u8; 64]);
+    c
+}
+
+fn abd_cluster(sim: &Sim, n_keys: u64) -> Cluster {
+    let c = Cluster::new(
+        sim,
+        ClusterConfig {
+            inplace: false,
+            meta_bufs: 1,
+            ..Default::default()
+        },
+    );
+    c.load_keys(n_keys, |k| vec![k as u8; 64]);
+    c
+}
+
+fn raw_cluster(sim: &Sim, n_keys: u64) -> Cluster {
+    let c = Cluster::new(
+        sim,
+        ClusterConfig {
+            replicas: 1,
+            meta_bufs: 1,
+            ..Default::default()
+        },
+    );
+    c.load_keys(n_keys, |k| vec![k as u8; 64]);
+    c
+}
+
+#[test]
+fn swarm_kv_get_update_delete_reinsert() {
+    let sim = Sim::new(1);
+    let cluster = swarm_cluster(&sim, 8);
+    let c = KvClient::new(&cluster, Proto::SafeGuess, 0, KvClientConfig::default());
+    sim.block_on(async move {
+        assert_eq!(*c.get(3).await.unwrap(), vec![3u8; 64]);
+        assert!(c.update(3, vec![9u8; 64]).await);
+        assert_eq!(*c.get(3).await.unwrap(), vec![9u8; 64]);
+        assert!(c.delete(3).await);
+        assert!(c.get(3).await.is_none());
+        assert!(!c.update(3, vec![1u8; 64]).await, "update after delete");
+        // Re-insert through fresh replicas (§5.3.1).
+        assert!(c.insert(3, vec![5u8; 64]).await);
+        assert_eq!(*c.get(3).await.unwrap(), vec![5u8; 64]);
+    });
+}
+
+#[test]
+fn swarm_kv_insert_fresh_key_is_visible_to_other_clients() {
+    let sim = Sim::new(2);
+    let cluster = swarm_cluster(&sim, 4);
+    let a = KvClient::new(&cluster, Proto::SafeGuess, 0, KvClientConfig::default());
+    let b = KvClient::new(&cluster, Proto::SafeGuess, 1, KvClientConfig::default());
+    sim.block_on(async move {
+        assert!(b.get(100).await.is_none(), "unindexed key must miss");
+        assert!(a.insert(100, vec![0xAA; 64]).await);
+        assert_eq!(*b.get(100).await.unwrap(), vec![0xAA; 64]);
+    });
+}
+
+#[test]
+fn updates_by_one_client_are_read_by_another() {
+    let sim = Sim::new(3);
+    let cluster = swarm_cluster(&sim, 4);
+    let a = KvClient::new(&cluster, Proto::SafeGuess, 0, KvClientConfig::default());
+    let b = KvClient::new(&cluster, Proto::SafeGuess, 1, KvClientConfig::default());
+    sim.block_on(async move {
+        for i in 1..20u8 {
+            assert!(a.update(2, vec![i; 64]).await);
+            assert_eq!(*b.get(2).await.unwrap(), vec![i; 64]);
+        }
+    });
+}
+
+#[test]
+fn dm_abd_and_raw_basics() {
+    let sim = Sim::new(4);
+    let ac = abd_cluster(&sim, 4);
+    let rc = raw_cluster(&sim, 4);
+    let abd = KvClient::new(&ac, Proto::Abd, 0, KvClientConfig::default());
+    let raw = KvClient::new(&rc, Proto::Raw, 0, KvClientConfig::default());
+    sim.block_on(async move {
+        assert_eq!(*abd.get(1).await.unwrap(), vec![1u8; 64]);
+        assert!(abd.update(1, vec![7u8; 64]).await);
+        assert_eq!(*abd.get(1).await.unwrap(), vec![7u8; 64]);
+        assert_eq!(*raw.get(1).await.unwrap(), vec![1u8; 64]);
+        assert!(raw.update(1, vec![8u8; 64]).await);
+        assert_eq!(*raw.get(1).await.unwrap(), vec![8u8; 64]);
+    });
+}
+
+/// Table 2: common-case roundtrip counts per system.
+#[test]
+fn table2_roundtrip_counts() {
+    // (proto-ish, expected get rtts, expected update rtts, common fraction)
+    let sim = Sim::new(5);
+    let sw = swarm_cluster(&sim, 64);
+    let swarm = KvClient::new(&sw, Proto::SafeGuess, 0, KvClientConfig::default());
+    let stats = run_workload(
+        &sim,
+        &[swarm],
+        &Workload::ycsb(WorkloadSpec::B, 64, 64),
+        &RunConfig {
+            warmup_ops: 2_000,
+            measure_ops: 2_000,
+            record_rtts: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        stats.rtt_fraction(OpType::Get, 1) > 0.95,
+        "SWARM gets in 1 RTT: {}",
+        stats.rtt_fraction(OpType::Get, 1)
+    );
+    assert!(
+        stats.rtt_fraction(OpType::Update, 1) > 0.90,
+        "SWARM updates in 1 RTT: {}",
+        stats.rtt_fraction(OpType::Update, 1)
+    );
+    assert_eq!(stats.rtt_percentile(OpType::Get, 99.0), 1);
+
+    let sim = Sim::new(6);
+    let ac = abd_cluster(&sim, 64);
+    let abd = KvClient::new(&ac, Proto::Abd, 0, KvClientConfig::default());
+    let stats = run_workload(
+        &sim,
+        &[abd],
+        &Workload::ycsb(WorkloadSpec::B, 64, 64),
+        &RunConfig {
+            warmup_ops: 2_000,
+            measure_ops: 2_000,
+            record_rtts: true,
+            ..Default::default()
+        },
+    );
+    assert!(
+        stats.rtt_fraction(OpType::Get, 2) > 0.9,
+        "DM-ABD gets in 2 RTTs: {}",
+        stats.rtt_fraction(OpType::Get, 2)
+    );
+    assert!(
+        stats.rtt_fraction(OpType::Update, 2) > 0.9,
+        "DM-ABD updates in 2 RTTs: {}",
+        stats.rtt_fraction(OpType::Update, 2)
+    );
+
+    let sim = Sim::new(7);
+    let fc = FuseeCluster::new(&sim, Default::default());
+    fc.load_keys(64, |k| vec![k as u8; 64]);
+    let fusee = FuseeKv::new(&fc, 0, 1 << 20);
+    let stats = run_workload(
+        &sim,
+        &[fusee],
+        &Workload::ycsb(WorkloadSpec::B, 64, 64),
+        &RunConfig {
+            warmup_ops: 2_000,
+            measure_ops: 2_000,
+            record_rtts: true,
+            ..Default::default()
+        },
+    );
+    let f1 = stats.rtt_fraction(OpType::Get, 1);
+    let f2 = stats.rtt_fraction(OpType::Get, 2);
+    assert!(f1 + f2 > 0.99, "FUSEE gets 1-2 RTTs: {f1}+{f2}");
+    assert!(f1 > 0.5, "most FUSEE gets cached: {f1}");
+    assert!(
+        stats.rtt_fraction(OpType::Update, 4) > 0.9,
+        "FUSEE updates in 4 RTTs: {}",
+        stats.rtt_fraction(OpType::Update, 4)
+    );
+
+    let sim = Sim::new(8);
+    let rc = raw_cluster(&sim, 64);
+    let raw = KvClient::new(&rc, Proto::Raw, 0, KvClientConfig::default());
+    let stats = run_workload(
+        &sim,
+        &[raw],
+        &Workload::ycsb(WorkloadSpec::B, 64, 64),
+        &RunConfig {
+            warmup_ops: 2_000,
+            measure_ops: 2_000,
+            record_rtts: true,
+            ..Default::default()
+        },
+    );
+    assert!(stats.rtt_fraction(OpType::Get, 1) > 0.99);
+    assert!(stats.rtt_fraction(OpType::Update, 1) > 0.99);
+}
+
+/// §7.1 calibration: median latencies must land near the paper's
+/// measurements (RAW 1.9/1.6 µs, SWARM 2.4/3.1 µs, DM-ABD 4.3/4.9 µs,
+/// FUSEE ~2.9 µs fresh gets / 8.5 µs updates).
+#[test]
+fn latency_medians_match_paper_shape() {
+    let run = |stats: &mut swarm_kv::RunStats, op| stats.lat(op).median() as f64 / 1_000.0;
+    let cfg = RunConfig {
+        warmup_ops: 2_000,
+        measure_ops: 10_000,
+        ..Default::default()
+    };
+    let wl = Workload::ycsb(WorkloadSpec::B, 1_000, 64);
+
+    let sim = Sim::new(10);
+    let c = raw_cluster(&sim, 1_000);
+    let clients: Vec<_> = (0..4)
+        .map(|i| KvClient::new(&c, Proto::Raw, i, KvClientConfig::default()))
+        .collect();
+    let mut stats = run_workload(&sim, &clients, &wl, &cfg);
+    let (raw_get, raw_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+
+    let sim = Sim::new(11);
+    let c = swarm_cluster(&sim, 1_000);
+    let clients: Vec<_> = (0..4)
+        .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
+        .collect();
+    let mut stats = run_workload(&sim, &clients, &wl, &cfg);
+    let (sw_get, sw_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+
+    let sim = Sim::new(12);
+    let c = abd_cluster(&sim, 1_000);
+    let clients: Vec<_> = (0..4)
+        .map(|i| KvClient::new(&c, Proto::Abd, i, KvClientConfig::default()))
+        .collect();
+    let mut stats = run_workload(&sim, &clients, &wl, &cfg);
+    let (abd_get, abd_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+
+    let sim = Sim::new(13);
+    let c = FuseeCluster::new(&sim, Default::default());
+    c.load_keys(1_000, |k| vec![k as u8; 64]);
+    let clients: Vec<_> = (0..4).map(|i| FuseeKv::new(&c, i, 1 << 20)).collect();
+    let mut stats = run_workload(&sim, &clients, &wl, &cfg);
+    let (fu_get, fu_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+
+    eprintln!("medians (µs): RAW {raw_get:.2}/{raw_upd:.2}  SWARM {sw_get:.2}/{sw_upd:.2}  DM-ABD {abd_get:.2}/{abd_upd:.2}  FUSEE {fu_get:.2}/{fu_upd:.2}");
+
+    // Absolute calibration, ±30% of the paper's medians.
+    let near = |x: f64, target: f64| (x - target).abs() / target < 0.30;
+    assert!(near(raw_get, 1.9), "RAW get {raw_get:.2} vs 1.9");
+    assert!(near(raw_upd, 1.6), "RAW update {raw_upd:.2} vs 1.6");
+    assert!(near(sw_get, 2.4), "SWARM get {sw_get:.2} vs 2.4");
+    assert!(near(sw_upd, 3.1), "SWARM update {sw_upd:.2} vs 3.1");
+    assert!(near(abd_get, 4.3), "DM-ABD get {abd_get:.2} vs 4.3");
+    assert!(near(abd_upd, 4.9), "DM-ABD update {abd_upd:.2} vs 4.9");
+    assert!(near(fu_upd, 8.5), "FUSEE update {fu_upd:.2} vs 8.5");
+
+    // Relative ordering (the paper's headline claims).
+    assert!(raw_get < sw_get && sw_get < fu_get.max(abd_get));
+    assert!(sw_upd < abd_upd && abd_upd < fu_upd);
+}
+
+#[test]
+fn cache_miss_costs_an_index_roundtrip() {
+    let sim = Sim::new(14);
+    let cluster = swarm_cluster(&sim, 64);
+    let c = KvClient::new(
+        &cluster,
+        Proto::SafeGuess,
+        0,
+        KvClientConfig { cache_entries: 4 },
+    );
+    let c2 = Rc::clone(&c);
+    sim.block_on(async move {
+        c2.get(1).await.unwrap(); // miss -> index (2 rtts total)
+        let r0 = c2.rounds();
+        c2.get(1).await.unwrap(); // hit  (1 rtt)
+        let hit_rtts = c2.rounds() - r0;
+        assert_eq!(hit_rtts, 1);
+        // A never-before-touched key always misses the cache.
+        let r0 = c2.rounds();
+        c2.get(40).await.unwrap();
+        let miss_rtts = c2.rounds() - r0;
+        assert_eq!(miss_rtts, 2, "cache miss should add exactly 1 RTT");
+    });
+}
+
+#[test]
+fn runner_reports_throughput_and_latency() {
+    let sim = Sim::new(15);
+    let cluster = swarm_cluster(&sim, 128);
+    let clients: Vec<_> = (0..2)
+        .map(|i| KvClient::new(&cluster, Proto::SafeGuess, i, KvClientConfig::default()))
+        .collect();
+    let stats = run_workload(
+        &sim,
+        &clients,
+        &Workload::ycsb(WorkloadSpec::A, 128, 64),
+        &RunConfig {
+            warmup_ops: 200,
+            measure_ops: 1_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(stats.measured_ops, 1_000);
+    assert_eq!(stats.failed_ops, 0);
+    assert!(stats.throughput_ops() > 50_000.0, "{}", stats.throughput_ops());
+    assert!(stats.lat(OpType::Get).len() > 300);
+    assert!(stats.lat(OpType::Update).len() > 300);
+}
+
+#[test]
+fn concurrent_ops_increase_throughput() {
+    let tput = |conc: usize| {
+        let sim = Sim::new(16);
+        let cluster = swarm_cluster(&sim, 512);
+        let clients: Vec<_> = (0..4)
+            .map(|i| KvClient::new(&cluster, Proto::SafeGuess, i, KvClientConfig::default()))
+            .collect();
+        run_workload(
+            &sim,
+            &clients,
+            &Workload::ycsb(WorkloadSpec::B, 512, 64),
+            &RunConfig {
+                warmup_ops: 500,
+                measure_ops: 4_000,
+                concurrency: conc,
+                ..Default::default()
+            },
+        )
+        .throughput_ops()
+    };
+    let t1 = tput(1);
+    let t3 = tput(3);
+    assert!(
+        t3 > t1 * 1.5,
+        "3 concurrent ops should raise throughput: {t1} -> {t3}"
+    );
+}

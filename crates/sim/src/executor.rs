@@ -1,0 +1,489 @@
+//! Single-threaded deterministic executor over virtual time.
+//!
+//! The executor owns an event queue ordered by `(virtual time, sequence)` and
+//! a set of tasks (non-`Send` futures). Running the simulation alternates
+//! between polling ready tasks and firing the earliest pending event, which
+//! advances the virtual clock. Because ties are broken by a monotonically
+//! increasing sequence number and the only source of randomness is a seeded
+//! RNG, executions are bit-for-bit reproducible.
+
+use std::cell::{Cell, RefCell};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::time::Nanos;
+
+/// Identifier of a spawned task.
+///
+/// Task slots are recycled after completion (simulations spawn one short
+/// task per in-flight fabric message, i.e. millions per experiment); the
+/// generation counter keeps stale wakers from waking a recycled slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId {
+    idx: usize,
+    gen: u64,
+}
+
+type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
+
+/// An event scheduled at a virtual time; fired in `(at, seq)` order.
+struct Event {
+    at: Nanos,
+    seq: u64,
+    action: Box<dyn FnOnce(&Sim)>,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Event {}
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// Queue of tasks made runnable by wakers.
+///
+/// Wakers must be `Send + Sync`, so this little queue uses `Arc<Mutex<..>>`
+/// even though the simulation itself is single-threaded; contention is nil.
+#[derive(Default)]
+struct ReadyQueue {
+    queue: Mutex<VecDeque<TaskId>>,
+}
+
+impl ReadyQueue {
+    fn push(&self, id: TaskId) {
+        self.queue.lock().unwrap().push_back(id);
+    }
+    fn pop(&self) -> Option<TaskId> {
+        self.queue.lock().unwrap().pop_front()
+    }
+}
+
+struct TaskWaker {
+    id: TaskId,
+    ready: Arc<ReadyQueue>,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.ready.push(self.id);
+    }
+}
+
+struct TaskSlot {
+    gen: u64,
+    fut: Option<BoxFuture>,
+}
+
+struct SimInner {
+    now: Cell<Nanos>,
+    seq: Cell<u64>,
+    events: RefCell<BinaryHeap<Reverse<Event>>>,
+    tasks: RefCell<Vec<TaskSlot>>,
+    free_slots: RefCell<Vec<usize>>,
+    live_tasks: Cell<usize>,
+    ready: Arc<ReadyQueue>,
+    rng: RefCell<SmallRng>,
+}
+
+/// Handle to the simulation world; cheaply cloneable.
+///
+/// All simulated devices (`swarm-fabric` nodes, clocks, CPU resources) hold a
+/// `Sim` and use it to schedule events, spawn background tasks, and draw
+/// random numbers.
+#[derive(Clone)]
+pub struct Sim {
+    inner: Rc<SimInner>,
+}
+
+impl Sim {
+    /// Creates a new simulation with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Sim {
+            inner: Rc::new(SimInner {
+                now: Cell::new(0),
+                seq: Cell::new(0),
+                events: RefCell::new(BinaryHeap::new()),
+                tasks: RefCell::new(Vec::new()),
+                free_slots: RefCell::new(Vec::new()),
+                live_tasks: Cell::new(0),
+                ready: Arc::new(ReadyQueue::default()),
+                rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+            }),
+        }
+    }
+
+    /// Current virtual time in nanoseconds.
+    pub fn now(&self) -> Nanos {
+        self.inner.now.get()
+    }
+
+    /// Draws a uniformly random `u64` from the simulation RNG.
+    pub fn rand_u64(&self) -> u64 {
+        self.inner.rng.borrow_mut().random()
+    }
+
+    /// Draws a uniformly random value in `[0, 1)`.
+    pub fn rand_f64(&self) -> f64 {
+        self.inner.rng.borrow_mut().random::<f64>()
+    }
+
+    /// Draws a uniformly random value in `[lo, hi)`.
+    pub fn rand_range(&self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range");
+        self.inner.rng.borrow_mut().random_range(lo..hi)
+    }
+
+    /// Runs `action` at virtual time `at` (clamped to be no earlier than now).
+    pub fn schedule_at(&self, at: Nanos, action: impl FnOnce(&Sim) + 'static) {
+        let at = at.max(self.now());
+        let seq = self.inner.seq.get();
+        self.inner.seq.set(seq + 1);
+        self.inner.events.borrow_mut().push(Reverse(Event {
+            at,
+            seq,
+            action: Box::new(action),
+        }));
+    }
+
+    /// Runs `action` after `delay` nanoseconds of virtual time.
+    pub fn schedule_after(&self, delay: Nanos, action: impl FnOnce(&Sim) + 'static) {
+        self.schedule_at(self.now() + delay, action);
+    }
+
+    /// Spawns a task onto the executor; it starts running when `run` is
+    /// (re-)entered.
+    pub fn spawn(&self, fut: impl Future<Output = ()> + 'static) -> TaskId {
+        let mut tasks = self.inner.tasks.borrow_mut();
+        let idx = match self.inner.free_slots.borrow_mut().pop() {
+            Some(idx) => {
+                tasks[idx].fut = Some(Box::pin(fut));
+                idx
+            }
+            None => {
+                tasks.push(TaskSlot {
+                    gen: 0,
+                    fut: Some(Box::pin(fut)),
+                });
+                tasks.len() - 1
+            }
+        };
+        let id = TaskId {
+            idx,
+            gen: tasks[idx].gen,
+        };
+        self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
+        self.inner.ready.push(id);
+        id
+    }
+
+    /// Number of tasks that have been spawned but not yet completed.
+    pub fn live_tasks(&self) -> usize {
+        self.inner.live_tasks.get()
+    }
+
+    /// Future that resolves at virtual time `deadline`.
+    pub fn sleep_until(&self, deadline: Nanos) -> Sleep {
+        Sleep {
+            sim: self.clone(),
+            deadline,
+            scheduled: false,
+        }
+    }
+
+    /// Future that resolves after `dur` nanoseconds of virtual time.
+    pub fn sleep_ns(&self, dur: Nanos) -> Sleep {
+        self.sleep_until(self.now() + dur)
+    }
+
+    /// Future that yields once, letting other ready tasks run at the same
+    /// virtual instant.
+    pub fn yield_now(&self) -> YieldNow {
+        YieldNow { yielded: false }
+    }
+
+    fn poll_task(&self, id: TaskId) {
+        let fut = {
+            let mut tasks = self.inner.tasks.borrow_mut();
+            let slot = &mut tasks[id.idx];
+            if slot.gen != id.gen {
+                return; // Stale waker for a recycled slot.
+            }
+            slot.fut.take()
+        };
+        let Some(mut fut) = fut else { return };
+        let waker = Waker::from(Arc::new(TaskWaker {
+            id,
+            ready: Arc::clone(&self.inner.ready),
+        }));
+        let mut cx = Context::from_waker(&waker);
+        match fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                let mut tasks = self.inner.tasks.borrow_mut();
+                tasks[id.idx].gen += 1;
+                self.inner.free_slots.borrow_mut().push(id.idx);
+                self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
+            }
+            Poll::Pending => {
+                self.inner.tasks.borrow_mut()[id.idx].fut = Some(fut);
+            }
+        }
+    }
+
+    /// Runs the simulation until no ready task and no pending event remains.
+    ///
+    /// Returns the final virtual time.
+    pub fn run(&self) -> Nanos {
+        loop {
+            // Drain all tasks runnable at the current instant.
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+            // Advance time to the next event.
+            let ev = self.inner.events.borrow_mut().pop();
+            match ev {
+                Some(Reverse(ev)) => {
+                    debug_assert!(ev.at >= self.now());
+                    self.inner.now.set(ev.at);
+                    (ev.action)(self);
+                }
+                None => return self.now(),
+            }
+        }
+    }
+
+    /// Runs the simulation, but stops once virtual time would exceed
+    /// `deadline`. Events after the deadline remain queued.
+    pub fn run_until(&self, deadline: Nanos) -> Nanos {
+        loop {
+            while let Some(id) = self.inner.ready.pop() {
+                self.poll_task(id);
+            }
+            let next_at = self
+                .inner
+                .events
+                .borrow()
+                .peek()
+                .map(|Reverse(ev)| ev.at);
+            match next_at {
+                Some(at) if at <= deadline => {
+                    let Reverse(ev) = self.inner.events.borrow_mut().pop().unwrap();
+                    self.inner.now.set(ev.at);
+                    (ev.action)(self);
+                }
+                _ => return self.now(),
+            }
+        }
+    }
+
+    /// Convenience: spawn `fut` and run the simulation to completion,
+    /// returning the value the future produced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation deadlocks before the future completes.
+    pub fn block_on<T: 'static>(&self, fut: impl Future<Output = T> + 'static) -> T {
+        let slot: Rc<RefCell<Option<T>>> = Rc::new(RefCell::new(None));
+        let slot2 = Rc::clone(&slot);
+        self.spawn(async move {
+            let v = fut.await;
+            *slot2.borrow_mut() = Some(v);
+        });
+        self.run();
+        Rc::try_unwrap(slot)
+            .ok()
+            .expect("simulation still holds result slot")
+            .into_inner()
+            .expect("simulation deadlocked before block_on future completed")
+    }
+}
+
+/// Future returned by [`Sim::sleep_until`].
+pub struct Sleep {
+    sim: Sim,
+    deadline: Nanos,
+    scheduled: bool,
+}
+
+impl Future for Sleep {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.sim.now() >= self.deadline {
+            return Poll::Ready(());
+        }
+        if !self.scheduled {
+            self.scheduled = true;
+            let waker = cx.waker().clone();
+            let deadline = self.deadline;
+            self.sim.schedule_at(deadline, move |_| waker.wake());
+        }
+        Poll::Pending
+    }
+}
+
+/// Future returned by [`Sim::yield_now`].
+pub struct YieldNow {
+    yielded: bool,
+}
+
+impl Future for YieldNow {
+    type Output = ();
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+        if self.yielded {
+            Poll::Ready(())
+        } else {
+            self.yielded = true;
+            cx.waker().wake_by_ref();
+            Poll::Pending
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_starts_at_zero() {
+        let sim = Sim::new(1);
+        assert_eq!(sim.now(), 0);
+    }
+
+    #[test]
+    fn sleep_advances_virtual_time() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let end = sim.block_on(async move {
+            s.sleep_ns(1_000).await;
+            s.sleep_ns(500).await;
+            s.now()
+        });
+        assert_eq!(end, 1_500);
+    }
+
+    #[test]
+    fn events_fire_in_time_then_fifo_order() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        for (delay, tag) in [(50u64, 2u32), (10, 0), (50, 3), (20, 1)] {
+            let log = Rc::clone(&log);
+            sim.schedule_after(delay, move |_| log.borrow_mut().push(tag));
+        }
+        sim.run();
+        assert_eq!(*log.borrow(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn concurrent_tasks_interleave_deterministically() {
+        let sim = Sim::new(7);
+        let log: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        for t in 0..3u32 {
+            let s = sim.clone();
+            let log = Rc::clone(&log);
+            sim.spawn(async move {
+                for i in 0..3u64 {
+                    s.sleep_ns(10 * (t as u64 + 1)).await;
+                    log.borrow_mut().push((s.now(), t + 10 * i as u32));
+                }
+            });
+        }
+        sim.run();
+        let first: Vec<_> = log.borrow().clone();
+        // Re-run with the same seed: identical interleaving.
+        let sim2 = Sim::new(7);
+        let log2: Rc<RefCell<Vec<(u64, u32)>>> = Rc::new(RefCell::new(Vec::new()));
+        for t in 0..3u32 {
+            let s = sim2.clone();
+            let log2 = Rc::clone(&log2);
+            sim2.spawn(async move {
+                for i in 0..3u64 {
+                    s.sleep_ns(10 * (t as u64 + 1)).await;
+                    log2.borrow_mut().push((s.now(), t + 10 * i as u32));
+                }
+            });
+        }
+        sim2.run();
+        assert_eq!(first, *log2.borrow());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn(async move {
+            loop {
+                s.sleep_ns(100).await;
+            }
+        });
+        let t = sim.run_until(1_000);
+        assert_eq!(t, 1_000);
+        assert_eq!(sim.live_tasks(), 1);
+    }
+
+    #[test]
+    fn yield_now_lets_peers_run() {
+        let sim = Sim::new(1);
+        let log: Rc<RefCell<Vec<u32>>> = Rc::new(RefCell::new(Vec::new()));
+        let (l1, l2) = (Rc::clone(&log), Rc::clone(&log));
+        let s1 = sim.clone();
+        sim.spawn(async move {
+            l1.borrow_mut().push(1);
+            s1.yield_now().await;
+            l1.borrow_mut().push(3);
+        });
+        sim.spawn(async move {
+            l2.borrow_mut().push(2);
+        });
+        sim.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn task_slots_are_recycled() {
+        let sim = Sim::new(1);
+        for _ in 0..1_000 {
+            let s = sim.clone();
+            sim.spawn(async move { s.sleep_ns(1).await });
+            sim.run();
+        }
+        assert!(sim.inner.tasks.borrow().len() <= 2);
+        assert_eq!(sim.live_tasks(), 0);
+    }
+
+    #[test]
+    fn rng_is_deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let sim = Sim::new(99);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let sim = Sim::new(99);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let sim = Sim::new(100);
+            (0..8).map(|_| sim.rand_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,328 @@
+//! Measurement utilities: exact-percentile histograms, online moments, and
+//! time-bucketed series (for the failure-timeline experiment, Figure 11).
+
+use crate::time::Nanos;
+
+/// Exact-percentile latency recorder.
+///
+/// Stores every sample (experiments record ~10^6 samples, i.e. a few MiB) so
+/// percentiles and CDFs are exact rather than approximated, matching how the
+/// paper reports P1/median/P99 and full CDFs.
+#[derive(Debug, Default, Clone)]
+pub struct Histogram {
+    samples: Vec<Nanos>,
+    sorted: bool,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample (nanoseconds).
+    pub fn record(&mut self, v: Nanos) {
+        self.samples.push(v);
+        self.sorted = false;
+    }
+
+    /// Number of recorded samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn ensure_sorted(&mut self) {
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+    }
+
+    /// Returns the `p`-th percentile (0.0–100.0) in nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty or `p` is outside `[0, 100]`.
+    pub fn percentile(&mut self, p: f64) -> Nanos {
+        assert!(!self.samples.is_empty(), "empty histogram");
+        assert!((0.0..=100.0).contains(&p), "percentile out of range");
+        self.ensure_sorted();
+        let n = self.samples.len();
+        let rank = ((p / 100.0) * (n as f64 - 1.0)).round() as usize;
+        self.samples[rank.min(n - 1)]
+    }
+
+    /// Median, in nanoseconds.
+    pub fn median(&mut self) -> Nanos {
+        self.percentile(50.0)
+    }
+
+    /// Arithmetic mean, in nanoseconds.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|&v| v as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Maximum sample, in nanoseconds.
+    pub fn max(&mut self) -> Nanos {
+        assert!(!self.samples.is_empty(), "empty histogram");
+        self.ensure_sorted();
+        *self.samples.last().unwrap()
+    }
+
+    /// Fraction of samples `<= threshold`.
+    pub fn fraction_at_most(&mut self, threshold: Nanos) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.ensure_sorted();
+        let idx = self.samples.partition_point(|&v| v <= threshold);
+        idx as f64 / self.samples.len() as f64
+    }
+
+    /// Evenly spaced CDF points `(latency_ns, percentile)`; `points` >= 2.
+    pub fn cdf(&mut self, points: usize) -> Vec<(Nanos, f64)> {
+        assert!(points >= 2);
+        if self.samples.is_empty() {
+            return Vec::new();
+        }
+        self.ensure_sorted();
+        let n = self.samples.len();
+        (0..points)
+            .map(|i| {
+                let frac = i as f64 / (points - 1) as f64;
+                let rank = (frac * (n as f64 - 1.0)).round() as usize;
+                (self.samples[rank.min(n - 1)], frac * 100.0)
+            })
+            .collect()
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+    }
+}
+
+/// Online mean/variance/min/max accumulator (Welford).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct OnlineStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, x: f64) {
+        self.n += 1;
+        let d = x - self.mean;
+        self.mean += d / self.n as f64;
+        self.m2 += d * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations (0 if empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Fixed-width time-bucketed series: counts and latency sums per bucket.
+///
+/// Used to plot throughput/latency against virtual time around injected
+/// failures (Figure 11).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    bucket_ns: Nanos,
+    counts: Vec<u64>,
+    sums: Vec<u128>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bucket width.
+    pub fn new(bucket_ns: Nanos) -> Self {
+        assert!(bucket_ns > 0);
+        TimeSeries {
+            bucket_ns,
+            counts: Vec::new(),
+            sums: Vec::new(),
+        }
+    }
+
+    /// Records an operation that completed at `at` with latency `latency_ns`.
+    pub fn record(&mut self, at: Nanos, latency_ns: Nanos) {
+        let idx = (at / self.bucket_ns) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+            self.sums.resize(idx + 1, 0);
+        }
+        self.counts[idx] += 1;
+        self.sums[idx] += latency_ns as u128;
+    }
+
+    /// Bucket width in nanoseconds.
+    pub fn bucket_ns(&self) -> Nanos {
+        self.bucket_ns
+    }
+
+    /// Iterator of `(bucket_start_ns, ops_in_bucket, mean_latency_ns)`.
+    pub fn buckets(&self) -> impl Iterator<Item = (Nanos, u64, f64)> + '_ {
+        self.counts.iter().enumerate().map(move |(i, &c)| {
+            let mean = if c == 0 {
+                0.0
+            } else {
+                self.sums[i] as f64 / c as f64
+            };
+            (i as Nanos * self.bucket_ns, c, mean)
+        })
+    }
+
+    /// Throughput (ops/second) of bucket `i`.
+    pub fn throughput_ops_per_sec(&self, i: usize) -> f64 {
+        if i >= self.counts.len() {
+            return 0.0;
+        }
+        self.counts[i] as f64 * (crate::time::NANOS_PER_SEC as f64 / self.bucket_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 1);
+        assert_eq!(h.percentile(100.0), 100);
+        // Rank = round(0.5 * 99) = 50, i.e. the 51st smallest value.
+        assert_eq!(h.median(), 51);
+        assert_eq!(h.percentile(99.0), 99);
+    }
+
+    #[test]
+    fn median_of_odd_count() {
+        let mut h = Histogram::new();
+        for v in [5u64, 1, 9, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.median(), 5);
+    }
+
+    #[test]
+    fn fraction_at_most_counts_inclusive() {
+        let mut h = Histogram::new();
+        for v in [10u64, 20, 30, 40] {
+            h.record(v);
+        }
+        assert!((h.fraction_at_most(20) - 0.5).abs() < 1e-9);
+        assert!((h.fraction_at_most(9) - 0.0).abs() < 1e-9);
+        assert!((h.fraction_at_most(40) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cdf_is_monotonic() {
+        let mut h = Histogram::new();
+        let mut x = 123456789u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(x >> 40);
+        }
+        let cdf = h.cdf(32);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+            assert!(w[0].1 <= w[1].1);
+        }
+    }
+
+    #[test]
+    fn online_stats_match_direct_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut s = OnlineStats::new();
+        for &x in &xs {
+            s.add(x);
+        }
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.stddev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(s.count(), 8);
+    }
+
+    #[test]
+    fn timeseries_buckets_and_throughput() {
+        let mut ts = TimeSeries::new(1_000);
+        ts.record(100, 10);
+        ts.record(900, 30);
+        ts.record(1_500, 50);
+        let buckets: Vec<_> = ts.buckets().collect();
+        assert_eq!(buckets[0], (0, 2, 20.0));
+        assert_eq!(buckets[1], (1_000, 1, 50.0));
+        assert!((ts.throughput_ops_per_sec(0) - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(1);
+        b.record(3);
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.max(), 3);
+    }
+}

@@ -1,0 +1,14 @@
+//! YCSB-style workload generation (§7: "We run YCSB workloads A (50% gets
+//! and 50% updates) and B (95% gets and 5% updates) with Zipfian (.99) key
+//! distribution").
+//!
+//! The Zipfian sampler is the standard Gray et al. rejection-free generator
+//! (the one YCSB itself uses), with a multiplicative hash scramble so that
+//! popular keys are spread across the key space rather than clustered at
+//! small ids.
+
+mod spec;
+mod zipfian;
+
+pub use spec::{OpType, Workload, WorkloadSpec};
+pub use zipfian::Zipfian;

@@ -1,0 +1,169 @@
+//! Workload mixes and the operation stream generator.
+
+use crate::zipfian::Zipfian;
+
+/// One key-value operation kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpType {
+    /// Read a key.
+    Get,
+    /// Overwrite a key's value.
+    Update,
+    /// Insert a new key.
+    Insert,
+    /// Remove a key.
+    Delete,
+}
+
+/// An operation mix (percentages must sum to 100).
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Percent of gets.
+    pub get_pct: u64,
+    /// Percent of updates.
+    pub update_pct: u64,
+    /// Percent of inserts.
+    pub insert_pct: u64,
+    /// Percent of deletes.
+    pub delete_pct: u64,
+}
+
+impl WorkloadSpec {
+    /// YCSB workload A: 50% gets, 50% updates.
+    pub const A: WorkloadSpec = WorkloadSpec {
+        get_pct: 50,
+        update_pct: 50,
+        insert_pct: 0,
+        delete_pct: 0,
+    };
+
+    /// YCSB workload B: 95% gets, 5% updates.
+    pub const B: WorkloadSpec = WorkloadSpec {
+        get_pct: 95,
+        update_pct: 5,
+        insert_pct: 0,
+        delete_pct: 0,
+    };
+
+    /// YCSB workload C: read-only.
+    pub const C: WorkloadSpec = WorkloadSpec {
+        get_pct: 100,
+        update_pct: 0,
+        insert_pct: 0,
+        delete_pct: 0,
+    };
+
+    /// Picks an [`OpType`] from a uniform draw in `[0, 100)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the percentages do not sum to 100.
+    pub fn pick(&self, roll: u64) -> OpType {
+        assert_eq!(
+            self.get_pct + self.update_pct + self.insert_pct + self.delete_pct,
+            100,
+            "workload percentages must sum to 100"
+        );
+        if roll < self.get_pct {
+            OpType::Get
+        } else if roll < self.get_pct + self.update_pct {
+            OpType::Update
+        } else if roll < self.get_pct + self.update_pct + self.insert_pct {
+            OpType::Insert
+        } else {
+            OpType::Delete
+        }
+    }
+}
+
+/// A workload: a mix plus a key distribution.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Operation mix.
+    pub spec: WorkloadSpec,
+    /// Key sampler.
+    pub keys: Zipfian,
+    /// Value size in bytes.
+    pub value_size: usize,
+}
+
+impl Workload {
+    /// YCSB workload over `n_keys` keys with the given mix and value size.
+    pub fn ycsb(spec: WorkloadSpec, n_keys: u64, value_size: usize) -> Self {
+        Workload {
+            spec,
+            keys: Zipfian::ycsb(n_keys),
+            value_size,
+        }
+    }
+
+    /// Draws the next `(op, key)` pair from two uniform samples.
+    pub fn next_op(&self, roll: u64, u: f64) -> (OpType, u64) {
+        (self.spec.pick(roll % 100), self.keys.sample(u))
+    }
+
+    /// Deterministic per-(key, version) value payload of `value_size` bytes.
+    pub fn value_for(&self, key: u64, version: u64) -> Vec<u8> {
+        let mut v = vec![0u8; self.value_size];
+        let tag = key
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(version)
+            .to_le_bytes();
+        for (i, b) in v.iter_mut().enumerate() {
+            *b = tag[i % 8] ^ (i as u8);
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_pick_respects_mix() {
+        let mut gets = 0;
+        for roll in 0..100 {
+            if WorkloadSpec::B.pick(roll) == OpType::Get {
+                gets += 1;
+            }
+        }
+        assert_eq!(gets, 95);
+    }
+
+    #[test]
+    fn workload_a_is_half_updates() {
+        let updates = (0..100)
+            .filter(|&r| WorkloadSpec::A.pick(r) == OpType::Update)
+            .count();
+        assert_eq!(updates, 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_panics() {
+        let bad = WorkloadSpec {
+            get_pct: 10,
+            update_pct: 10,
+            insert_pct: 0,
+            delete_pct: 0,
+        };
+        bad.pick(5);
+    }
+
+    #[test]
+    fn values_differ_by_key_and_version() {
+        let w = Workload::ycsb(WorkloadSpec::C, 10, 64);
+        assert_eq!(w.value_for(1, 0).len(), 64);
+        assert_ne!(w.value_for(1, 0), w.value_for(2, 0));
+        assert_ne!(w.value_for(1, 0), w.value_for(1, 1));
+    }
+
+    #[test]
+    fn next_op_uses_distribution() {
+        let w = Workload::ycsb(WorkloadSpec::A, 100, 8);
+        let (op, key) = w.next_op(0, 0.5);
+        assert_eq!(op, OpType::Get);
+        assert!(key < 100);
+    }
+}

@@ -1,0 +1,1 @@
+//! Examples live under `examples/examples/`.

@@ -1,0 +1,206 @@
+//! Cross-crate integration tests: the full SWARM-KV stack (workload
+//! generator -> KV client -> Safe-Guess -> In-n-Out -> fabric) exercised
+//! end to end, including the paper's headline comparative claims.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swarm_core::{History, OpKind};
+use swarm_fabric::NodeId;
+use swarm_kv::{
+    run_workload, Cluster, ClusterConfig, KvClient, KvClientConfig, KvStore, Proto, RunConfig,
+};
+use swarm_sim::{Sim, NANOS_PER_MILLI};
+use swarm_workload::{OpType, Workload, WorkloadSpec};
+
+fn cluster(sim: &Sim, cfg: ClusterConfig, n_keys: u64) -> Cluster {
+    let c = Cluster::new(sim, cfg);
+    c.load_keys(n_keys, |k| {
+        let mut v = vec![0u8; c.config().value_size];
+        v[..8].copy_from_slice(&k.to_le_bytes());
+        v
+    });
+    c
+}
+
+#[test]
+fn same_seed_reproduces_identical_results() {
+    let run = || {
+        let sim = Sim::new(77);
+        let c = cluster(&sim, ClusterConfig::default(), 256);
+        let clients: Vec<_> = (0..4)
+            .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
+            .collect();
+        let stats = run_workload(
+            &sim,
+            &clients,
+            &Workload::ycsb(WorkloadSpec::A, 256, 64),
+            &RunConfig {
+                warmup_ops: 200,
+                measure_ops: 2_000,
+                ..Default::default()
+            },
+        );
+        (
+            stats.measured_ops,
+            stats.lat(OpType::Get).mean(),
+            stats.lat(OpType::Update).mean(),
+            stats.end_ns,
+        )
+    };
+    assert_eq!(run(), run(), "simulation is not deterministic");
+}
+
+#[test]
+fn headline_claims_hold_under_ycsb_a() {
+    // §7.1's ordering claims on workload A (contended mix).
+    let median = |proto: Proto, inplace: bool, meta_bufs: usize| {
+        let sim = Sim::new(3);
+        let c = cluster(
+            &sim,
+            ClusterConfig {
+                inplace,
+                meta_bufs,
+                ..Default::default()
+            },
+            2_000,
+        );
+        let clients: Vec<_> = (0..4)
+            .map(|i| KvClient::new(&c, proto, i, KvClientConfig::default()))
+            .collect();
+        let stats = run_workload(
+            &sim,
+            &clients,
+            &Workload::ycsb(WorkloadSpec::A, 2_000, 64),
+            &RunConfig {
+                warmup_ops: 4_000,
+                measure_ops: 12_000,
+                ..Default::default()
+            },
+        );
+        (
+            stats.lat(OpType::Get).median(),
+            stats.lat(OpType::Update).median(),
+        )
+    };
+    let (sg_get, sg_upd) = median(Proto::SafeGuess, true, 4);
+    let (abd_get, abd_upd) = median(Proto::Abd, false, 1);
+    assert!(
+        sg_get < abd_get && sg_upd < abd_upd,
+        "SWARM-KV must beat DM-ABD: get {sg_get} vs {abd_get}, update {sg_upd} vs {abd_upd}"
+    );
+}
+
+#[test]
+fn kv_store_is_linearizable_under_concurrency_and_crash() {
+    // Record a per-key history through the full stack and check it against
+    // the atomic-register spec, while a memory node dies mid-run.
+    for seed in 0..8 {
+        let sim = Sim::new(9_000 + seed);
+        let c = cluster(&sim, ClusterConfig::default(), 4);
+        let history = Rc::new(RefCell::new(History::new()));
+        let counter = Rc::new(std::cell::Cell::new(0u64));
+        for cid in 0..3usize {
+            let client = KvClient::new(&c, Proto::SafeGuess, cid, KvClientConfig::default());
+            let sim2 = sim.clone();
+            let history = Rc::clone(&history);
+            let counter = Rc::clone(&counter);
+            sim.spawn(async move {
+                for _ in 0..6 {
+                    sim2.sleep_ns(sim2.rand_range(1, 5_000)).await;
+                    let invoke = sim2.now();
+                    if sim2.rand_range(0, 100) < 50 {
+                        // Offset write values so they never collide with the
+                        // key id the loader encoded in the initial value.
+                        let v = counter.get() + 1_000;
+                        counter.set(counter.get() + 1);
+                        let mut bytes = vec![0u8; 64];
+                        bytes[..8].copy_from_slice(&v.to_le_bytes());
+                        assert!(client.update(2, bytes).await);
+                        history.borrow_mut().push(invoke, sim2.now(), OpKind::Write(v));
+                    } else {
+                        let got = client.get(2).await.expect("key 2 never deleted");
+                        let v = u64::from_le_bytes(got[..8].try_into().unwrap());
+                        // The loaded value encodes the key (2); map it to the
+                        // checker's initial value 0.
+                        let v = if v == 2 { 0 } else { v };
+                        history.borrow_mut().push(invoke, sim2.now(), OpKind::Read(v));
+                    }
+                }
+            });
+        }
+        let c2 = c.clone();
+        sim.schedule_after(20_000, move |_| c2.crash_node(NodeId(1)));
+        sim.run();
+        let h = Rc::try_unwrap(history).unwrap().into_inner();
+        assert_eq!(h.len(), 18, "seed {seed}: ops lost");
+        assert!(h.is_linearizable(), "seed {seed}: non-linearizable");
+    }
+}
+
+#[test]
+fn availability_through_crash_no_failed_ops() {
+    let sim = Sim::new(5);
+    let c = cluster(&sim, ClusterConfig::default(), 1_000);
+    c.membership().watch_until(20 * NANOS_PER_MILLI);
+    let clients: Vec<_> = (0..4)
+        .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
+        .collect();
+    let c2 = c.clone();
+    sim.schedule_after(2 * NANOS_PER_MILLI, move |_| c2.crash_node(NodeId(0)));
+    let stats = run_workload(
+        &sim,
+        &clients,
+        &Workload::ycsb(WorkloadSpec::A, 1_000, 64),
+        &RunConfig {
+            warmup_ops: 0,
+            measure_ops: 20_000,
+            concurrency: 2,
+            ..Default::default()
+        },
+    );
+    assert_eq!(stats.measured_ops, 20_000);
+    assert_eq!(stats.failed_ops, 0, "SWARM-KV lost availability");
+    // Tail latency shows the brief quorum-widening spikes, but the median
+    // stays microsecond-scale.
+    let mut g = stats.lat(OpType::Get);
+    assert!(g.median() < 6_000, "median {}", g.median());
+}
+
+#[test]
+fn value_sizes_roundtrip_through_the_whole_stack() {
+    for &vs in &[16usize, 256, 4096] {
+        let sim = Sim::new(6);
+        let c = cluster(
+            &sim,
+            ClusterConfig {
+                value_size: vs,
+                ..Default::default()
+            },
+            8,
+        );
+        let a = KvClient::new(&c, Proto::SafeGuess, 0, KvClientConfig::default());
+        let b = KvClient::new(&c, Proto::SafeGuess, 1, KvClientConfig::default());
+        sim.block_on(async move {
+            let payload: Vec<u8> = (0..vs).map(|i| (i * 31 % 251) as u8).collect();
+            assert!(a.update(5, payload.clone()).await);
+            assert_eq!(*b.get(5).await.unwrap(), payload, "size {vs}");
+        });
+    }
+}
+
+#[test]
+fn deletes_are_visible_across_clients_with_stale_caches() {
+    let sim = Sim::new(7);
+    let c = cluster(&sim, ClusterConfig::default(), 8);
+    let a = KvClient::new(&c, Proto::SafeGuess, 0, KvClientConfig::default());
+    let b = KvClient::new(&c, Proto::SafeGuess, 1, KvClientConfig::default());
+    sim.block_on(async move {
+        // B caches the location first.
+        assert!(b.get(1).await.is_some());
+        // A deletes; B's cached replicas hold the tombstone.
+        assert!(a.delete(1).await);
+        assert!(b.get(1).await.is_none(), "stale cache must see tombstone");
+        assert!(!b.update(1, vec![9u8; 64]).await);
+    });
+}

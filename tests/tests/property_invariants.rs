@@ -1,0 +1,151 @@
+//! Property-based tests (proptest) on the core data structures and
+//! protocol invariants.
+
+use proptest::prelude::*;
+
+use swarm_core::{innout_hash, xxh64, History, LockMode, NodeHealth, OpKind, QuorumConfig, Rounds, Stamp, TsLock};
+use swarm_fabric::{Fabric, FabricConfig, NodeId};
+use swarm_kv::LfuCache;
+use swarm_sim::{Histogram, Sim};
+use swarm_workload::Zipfian;
+
+proptest! {
+    /// Stamp packing is a bijection and preserves order.
+    #[test]
+    fn stamp_pack_roundtrips_and_orders(
+        i1 in 0u64..(1 << 39), t1 in 0u8..=255, v1 in any::<bool>(),
+        i2 in 0u64..(1 << 39), t2 in 0u8..=255, v2 in any::<bool>(),
+    ) {
+        let a = Stamp { i: i1, tid: t1, verified: v1 };
+        let b = Stamp { i: i2, tid: t2, verified: v2 };
+        prop_assert_eq!(Stamp::unpack48(a.pack48()), a);
+        prop_assert_eq!(a < b, a.pack48() < b.pack48());
+    }
+
+    /// Any single-byte corruption of a buffer changes its hash, so torn
+    /// In-n-Out reads cannot validate.
+    #[test]
+    fn corruption_never_validates(
+        data in proptest::collection::vec(any::<u8>(), 1..512),
+        pos in any::<prop::sample::Index>(),
+        flip in 1u8..=255,
+        meta in any::<u64>(),
+    ) {
+        let h = innout_hash(meta, &data);
+        let mut bad = data.clone();
+        let p = pos.index(bad.len());
+        bad[p] ^= flip;
+        prop_assert_ne!(innout_hash(meta, &bad), h);
+    }
+
+    /// xxh64 matches itself across chunked recomputation (determinism) and
+    /// differs across seeds.
+    #[test]
+    fn hash_determinism(data in proptest::collection::vec(any::<u8>(), 0..256), seed in any::<u64>()) {
+        prop_assert_eq!(xxh64(&data, seed), xxh64(&data, seed));
+        if !data.is_empty() {
+            prop_assert_ne!(xxh64(&data, seed), xxh64(&data, seed.wrapping_add(1)));
+        }
+    }
+
+    /// Zipfian samples stay in range for arbitrary uniform inputs.
+    #[test]
+    fn zipfian_in_range(n in 1u64..50_000, u in 0.0f64..1.0) {
+        let z = Zipfian::new(n, 0.99, true);
+        prop_assert!(z.sample(u) < n);
+    }
+
+    /// The LFU cache never exceeds capacity and `get` after `insert` hits.
+    #[test]
+    fn lfu_capacity_invariant(
+        cap in 1usize..32,
+        ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..200),
+    ) {
+        let sim = Sim::new(1);
+        let mut cache: LfuCache<u32> = LfuCache::new(cap);
+        for (key, is_insert) in ops {
+            let key = key as u64 % 64;
+            if is_insert {
+                cache.insert(&sim, key, key as u32);
+                prop_assert_eq!(cache.get(key), Some(&(key as u32)));
+            } else {
+                cache.remove(key);
+                prop_assert_eq!(cache.get(key), None);
+            }
+            prop_assert!(cache.len() <= cap);
+        }
+    }
+
+    /// Histogram percentiles are monotone in p.
+    #[test]
+    fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..256)) {
+        let mut h = Histogram::new();
+        for s in &samples {
+            h.record(*s);
+        }
+        let mut prev = 0;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 100.0] {
+            let v = h.percentile(p);
+            prop_assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    /// Sequential histories built from a register model are always accepted
+    /// by the linearizability checker.
+    #[test]
+    fn checker_accepts_sequential_histories(ops in proptest::collection::vec((any::<bool>(), 1u64..16), 1..12)) {
+        let mut h = History::new();
+        let mut value = 0u64;
+        let mut t = 0u64;
+        for (is_write, v) in ops {
+            let invoke = t;
+            t += 2;
+            if is_write {
+                value = v;
+                h.push(invoke, t, OpKind::Write(v));
+            } else {
+                h.push(invoke, t, OpKind::Read(value));
+            }
+            t += 1;
+        }
+        prop_assert!(h.is_linearizable());
+    }
+
+    /// Timestamp-lock true exclusion under randomized schedules: for any
+    /// seed and timestamp, READ and WRITE mode never both acquire.
+    #[test]
+    fn tslock_exclusion(seed in 0u64..5_000, ts_i in 1u64..1_000) {
+        let sim = Sim::new(seed);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 3);
+        let words: Vec<(NodeId, u64)> = fabric
+            .node_ids()
+            .into_iter()
+            .map(|id| (id, fabric.node(id).alloc(8, 8)))
+            .collect();
+        let mk = || {
+            TsLock::new(
+                &sim,
+                std::rc::Rc::new(fabric.endpoint()),
+                words.clone(),
+                NodeHealth::new(3),
+                QuorumConfig::default(),
+                Rounds::new(),
+            )
+        };
+        let (l1, l2) = (mk(), mk());
+        let results = std::rc::Rc::new(std::cell::RefCell::new(Vec::new()));
+        for (l, mode) in [(l1, LockMode::Read), (l2, LockMode::Write)] {
+            let sim2 = sim.clone();
+            let results = std::rc::Rc::clone(&results);
+            sim.spawn(async move {
+                sim2.sleep_ns(sim2.rand_range(0, 2_000)).await;
+                let ok = l.try_lock((ts_i, 0), mode).await;
+                results.borrow_mut().push(ok);
+            });
+        }
+        sim.run();
+        let wins = results.borrow().iter().filter(|&&b| b).count();
+        prop_assert!(wins <= 1, "both lock modes succeeded");
+    }
+}
