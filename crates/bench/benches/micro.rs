@@ -85,5 +85,11 @@ fn bench_kv_ops(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_hash, bench_zipfian, bench_sim_events, bench_kv_ops);
+criterion_group!(
+    benches,
+    bench_hash,
+    bench_zipfian,
+    bench_sim_events,
+    bench_kv_ops
+);
 criterion_main!(benches);

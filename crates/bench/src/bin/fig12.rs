@@ -21,8 +21,18 @@ fn main() {
             rc.record_rtts = true;
         });
         println!("{}:", sys.name());
-        report_cdf("fig12", &format!("{}_get", sys.name()), &mut stats.lat(OpType::Get), 200);
-        report_cdf("fig12", &format!("{}_update", sys.name()), &mut stats.lat(OpType::Update), 200);
+        report_cdf(
+            "fig12",
+            &format!("{}_get", sys.name()),
+            &mut stats.lat(OpType::Get),
+            200,
+        );
+        report_cdf(
+            "fig12",
+            &format!("{}_update", sys.name()),
+            &mut stats.lat(OpType::Update),
+            200,
+        );
         // §7.8's roundtrip breakdown.
         let mut rows = Vec::new();
         for op in [OpType::Get, OpType::Update] {
@@ -34,7 +44,12 @@ fn main() {
                 }
             }
         }
-        write_csv("fig12", &format!("{}_rtts", sys.name()), "op,rtts,percent", &rows);
+        write_csv(
+            "fig12",
+            &format!("{}_rtts", sys.name()),
+            "op,rtts,percent",
+            &rows,
+        );
     }
     println!("\npaper (SWARM-KV): gets p99 ~30us (14% 1-rtt, 8% 2-rtt, 78% more);");
     println!("       updates <=4 rtts, p99 ~10us (73% 1-rtt); DM-ABD far worse");

@@ -24,13 +24,28 @@ fn main() {
             rc.prewarm_keys = Some(p.n_keys); // steady-state caches
         });
         println!("{bufs} buffer(s):");
-        report_cdf("fig13", &format!("{bufs}bufs_get"), &mut stats.lat(OpType::Get), 200);
-        report_cdf("fig13", &format!("{bufs}bufs_update"), &mut stats.lat(OpType::Update), 200);
+        report_cdf(
+            "fig13",
+            &format!("{bufs}bufs_get"),
+            &mut stats.lat(OpType::Get),
+            200,
+        );
+        report_cdf(
+            "fig13",
+            &format!("{bufs}bufs_update"),
+            &mut stats.lat(OpType::Update),
+            200,
+        );
         let one_rtt = stats.rtt_fraction(OpType::Update, 1) * 100.0;
         println!("    updates completing in 1 rtt: {one_rtt:.0}%");
         rows.push(format!("{bufs},{one_rtt:.1}"));
     }
-    write_csv("fig13", "one_rtt_updates", "meta_bufs,percent_updates_1rtt", &rows);
+    write_csv(
+        "fig13",
+        "one_rtt_updates",
+        "meta_bufs,percent_updates_1rtt",
+        &rows,
+    );
     println!("\npaper: 1-rtt updates 23% (1 buf) / 57% (4) / 86% (16) / 99% (64);");
     println!("       gets median grows 3.1 -> 3.6 us from 1 to 64 buffers");
 }

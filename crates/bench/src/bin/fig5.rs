@@ -13,8 +13,18 @@ fn main() {
     for sys in System::all() {
         let (stats, _, _) = run_system(p.seed, sys, &p, WorkloadSpec::B, |_| {});
         println!("{}:", sys.name());
-        report_cdf("fig5", &format!("{}_get", sys.name()), &mut stats.lat(OpType::Get), 200);
-        report_cdf("fig5", &format!("{}_update", sys.name()), &mut stats.lat(OpType::Update), 200);
+        report_cdf(
+            "fig5",
+            &format!("{}_get", sys.name()),
+            &mut stats.lat(OpType::Get),
+            200,
+        );
+        report_cdf(
+            "fig5",
+            &format!("{}_update", sys.name()),
+            &mut stats.lat(OpType::Update),
+            200,
+        );
     }
     println!("\npaper medians (us): gets RAW 1.9 / SWARM 2.4 / FUSEE 2.9 / DM-ABD 4.3");
     println!("                    updates RAW 1.6 / SWARM 3.1 / DM-ABD 4.9 / FUSEE 8.5");

@@ -49,8 +49,18 @@ fn main() {
             coverage,
             miss
         );
-        report_cdf("fig6", &format!("{}_get", sys.name()), &mut stats.lat(OpType::Get), 200);
-        report_cdf("fig6", &format!("{}_update", sys.name()), &mut stats.lat(OpType::Update), 200);
+        report_cdf(
+            "fig6",
+            &format!("{}_get", sys.name()),
+            &mut stats.lat(OpType::Get),
+            200,
+        );
+        report_cdf(
+            "fig6",
+            &format!("{}_update", sys.name()),
+            &mut stats.lat(OpType::Update),
+            200,
+        );
     }
     println!("\npaper: bimodal CDFs; DM-ABD/FUSEE miss 42.5%, SWARM-KV 45.6%;");
     println!("       SWARM-KV average latency remains best for both op types");

@@ -15,7 +15,10 @@ fn main() {
 
     for (wl_name, spec) in [("A", WorkloadSpec::A), ("B", WorkloadSpec::B)] {
         println!("Figure 7: YCSB {wl_name}, per-core throughput vs average latency");
-        println!("{:<10} {:>5} {:>12} {:>12}", "system", "conc", "kops/core", "avg_lat_us");
+        println!(
+            "{:<10} {:>5} {:>12} {:>12}",
+            "system", "conc", "kops/core", "avg_lat_us"
+        );
         for sys in [System::Swarm, System::DmAbd] {
             let mut rows = Vec::new();
             for conc in 1..=8usize {
@@ -34,7 +37,13 @@ fn main() {
                     }
                     sum / n.max(1) as f64 / 1e3
                 };
-                println!("{:<10} {:>5} {:>12.0} {:>12.2}", sys.name(), conc, kops_per_core, avg);
+                println!(
+                    "{:<10} {:>5} {:>12.0} {:>12.2}",
+                    sys.name(),
+                    conc,
+                    kops_per_core,
+                    avg
+                );
                 rows.push(format!("{conc},{kops_per_core:.1},{avg:.3}"));
             }
             write_csv(
@@ -46,5 +55,7 @@ fn main() {
         }
     }
     println!("\npaper: SWARM-KV YCSB A: 264 kops @2.7us (1 op) -> ~640 kops max;");
-    println!("       YCSB B: 389 kops @2.4us -> 1030 kops max @5 ops; wall from CPU submission cost");
+    println!(
+        "       YCSB B: 389 kops @2.4us -> 1030 kops max @5 ops; wall from CPU submission cost"
+    );
 }

@@ -39,7 +39,14 @@ fn main() {
                 let g = stats.lat(OpType::Get).mean() / 1e3;
                 let u = stats.lat(OpType::Update).mean() / 1e3;
                 let t = stats.throughput_ops() / 1e6;
-                println!("{:<10} {:>8} {:>10.2} {:>10.2} {:>12.2}", sys.name(), n, g, u, t);
+                println!(
+                    "{:<10} {:>8} {:>10.2} {:>10.2} {:>12.2}",
+                    sys.name(),
+                    n,
+                    g,
+                    u,
+                    t
+                );
                 rows.push(format!("{n},{g:.3},{u:.3},{t:.3}"));
             }
             write_csv(

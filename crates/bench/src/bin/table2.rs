@@ -14,7 +14,10 @@ fn main() {
     .apply_cli();
 
     println!("Table 2: roundtrips for gets and updates (common / P99)");
-    println!("{:<10} {:>12} {:>14} {:>9} {:>11}", "system", "get common", "update common", "get p99", "update p99");
+    println!(
+        "{:<10} {:>12} {:>14} {:>9} {:>11}",
+        "system", "get common", "update common", "get p99", "update p99"
+    );
     let mut rows = Vec::new();
     for sys in System::all() {
         let (stats, _, _) = run_system(p.seed, sys, &p, WorkloadSpec::B, |rc| {
@@ -25,14 +28,29 @@ fn main() {
         let common = |op| {
             // The most frequent roundtrip count.
             let m = stats.rtts.get(&op).cloned().unwrap_or_default();
-            m.into_iter().max_by_key(|&(_, c)| c).map(|(r, _)| r).unwrap_or(0)
+            m.into_iter()
+                .max_by_key(|&(_, c)| c)
+                .map(|(r, _)| r)
+                .unwrap_or(0)
         };
         let (gc, uc) = (common(OpType::Get), common(OpType::Update));
         let gp = stats.rtt_percentile(OpType::Get, 99.0);
         let up = stats.rtt_percentile(OpType::Update, 99.0);
-        println!("{:<10} {:>12} {:>14} {:>9} {:>11}", sys.name(), gc, uc, gp, up);
+        println!(
+            "{:<10} {:>12} {:>14} {:>9} {:>11}",
+            sys.name(),
+            gc,
+            uc,
+            gp,
+            up
+        );
         rows.push(format!("{},{gc},{uc},{gp},{up}", sys.name()));
     }
-    write_csv("table2", "roundtrips", "system,get_common,update_common,get_p99,update_p99", &rows);
+    write_csv(
+        "table2",
+        "roundtrips",
+        "system,get_common,update_common,get_p99,update_p99",
+        &rows,
+    );
     println!("\npaper: RAW 1/1/1/1, SWARM-KV 1/1/1/1, DM-ABD 2/2/2/2, FUSEE 1-2/4/2/5");
 }

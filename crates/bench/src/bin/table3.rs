@@ -44,8 +44,8 @@ fn main() {
         }
         let avg_lat = lat_sum / lat_n.max(1) as f64;
         let rate_per_client = NANOS_PER_SEC as f64 / pace_ns as f64;
-        let cpu_pct = (rate_per_client * (avg_lat + 1_000.0) / NANOS_PER_SEC as f64 * 100.0)
-            .min(100.0);
+        let cpu_pct =
+            (rate_per_client * (avg_lat + 1_000.0) / NANOS_PER_SEC as f64 * 100.0).min(100.0);
 
         // Cache: entries * modeled entry bytes, for the 1M-key keyspace.
         let entry_bytes = if sys == System::Swarm { 32 } else { 24 };
@@ -88,7 +88,12 @@ fn main() {
             sys.name()
         ));
     }
-    write_csv("table3", "resources", "system,cpu_pct,cache_mib,io_gbps,mem_gib", &rows);
+    write_csv(
+        "table3",
+        "resources",
+        "system,cpu_pct,cache_mib,io_gbps,mem_gib",
+        &rows,
+    );
     println!("\npaper: RAW 46.6%/22.9/6.55/0.95, DM-ABD 99.0%/22.9/6.99/3.00,");
     println!("       SWARM-KV 61.3%/30.5/7.41/4.06, FUSEE 74.2%/22.9/8.15/2.04");
 }

@@ -144,9 +144,10 @@ impl ExpParams {
         }
     }
 
-    /// The YCSB workload object for this experiment.
+    /// The YCSB workload object for this experiment (keyspace shrunk under
+    /// `SWARM_BENCH_OPS_SCALE`, consistently with [`build`]).
     pub fn workload(&self, spec: WorkloadSpec) -> Workload {
-        Workload::ycsb(spec, self.n_keys, self.value_size)
+        Workload::ycsb(spec, env_scaled_keys(self.n_keys), self.value_size)
     }
 
     /// The runner configuration for this experiment.
@@ -178,8 +179,24 @@ pub enum Testbed {
     },
 }
 
+/// The keyspace size after applying `SWARM_BENCH_OPS_SCALE` (the smoke-test
+/// knob, see `swarm_kv::RunConfig`): bulk loading dominates wall time in
+/// unoptimized builds, and key-distribution properties do not matter for a
+/// smoke run. Used by both [`build`] and [`ExpParams::workload`] so loaded
+/// and sampled keyspaces always agree.
+fn env_scaled_keys(n_keys: u64) -> u64 {
+    match std::env::var("SWARM_BENCH_OPS_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        Some(scale) => ((n_keys as f64 * scale) as u64).clamp(64.min(n_keys), n_keys),
+        None => n_keys,
+    }
+}
+
 /// Builds (and bulk-loads) one system under test.
 pub fn build(sim: &Sim, sys: System, p: &ExpParams) -> Testbed {
+    let n_keys = env_scaled_keys(p.n_keys);
     let wl = p.workload(WorkloadSpec::C);
     match sys {
         System::Fusee => {
@@ -190,7 +207,7 @@ pub fn build(sim: &Sim, sys: System, p: &ExpParams) -> Testbed {
                     ..Default::default()
                 },
             );
-            cluster.load_keys(p.n_keys, |k| wl.value_for(k, 0));
+            cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
             let cache = p.cache_entries.unwrap_or(usize::MAX / 2);
             let clients: Vec<Rc<FuseeKv>> = (0..p.clients)
                 .map(|i| FuseeKv::new(&cluster, i, cache))
@@ -205,7 +222,7 @@ pub fn build(sim: &Sim, sys: System, p: &ExpParams) -> Testbed {
                 _ => Proto::SafeGuess,
             };
             let cluster = Cluster::new(sim, p.cluster_config(sys));
-            cluster.load_keys(p.n_keys, |k| wl.value_for(k, 0));
+            cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
             let cfg = KvClientConfig {
                 cache_entries: p.cache_entries.unwrap_or(usize::MAX / 2),
             };

@@ -1,0 +1,75 @@
+//! Smoke test: every figure/table binary runs to completion in quick mode
+//! (op counts shrunk via `SWARM_BENCH_OPS_SCALE`), exits 0, and emits
+//! non-empty CSV output under `target/experiments/`.
+
+use std::path::Path;
+use std::process::Command;
+
+/// `(name, path)` of every bench binary, via Cargo's test-time env vars.
+fn binaries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("table2", env!("CARGO_BIN_EXE_table2")),
+        ("table3", env!("CARGO_BIN_EXE_table3")),
+        ("fig5", env!("CARGO_BIN_EXE_fig5")),
+        ("fig6", env!("CARGO_BIN_EXE_fig6")),
+        ("fig7", env!("CARGO_BIN_EXE_fig7")),
+        ("fig8", env!("CARGO_BIN_EXE_fig8")),
+        ("fig9", env!("CARGO_BIN_EXE_fig9")),
+        ("fig10", env!("CARGO_BIN_EXE_fig10")),
+        ("fig11", env!("CARGO_BIN_EXE_fig11")),
+        ("fig12", env!("CARGO_BIN_EXE_fig12")),
+        ("fig13", env!("CARGO_BIN_EXE_fig13")),
+    ]
+}
+
+#[test]
+fn every_bench_binary_runs_and_writes_csv() {
+    let workdir = std::env::temp_dir().join(format!("swarm-bench-smoke-{}", std::process::id()));
+    for (name, exe) in binaries() {
+        let cwd = workdir.join(name);
+        std::fs::create_dir_all(&cwd).unwrap();
+        let out = Command::new(exe)
+            .current_dir(&cwd)
+            // Tiny op counts: enough to exercise the full pipeline.
+            .env("SWARM_BENCH_OPS_SCALE", "0.01")
+            .output()
+            .unwrap_or_else(|e| panic!("{name}: failed to spawn: {e}"));
+        assert!(
+            out.status.success(),
+            "{name}: exited {:?}\nstdout:\n{}\nstderr:\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+        assert!(
+            !out.stdout.is_empty(),
+            "{name}: produced no stdout in quick mode"
+        );
+        let exp = cwd.join("target/experiments").join(name);
+        let csvs = non_empty_csvs(&exp);
+        assert!(
+            !csvs.is_empty(),
+            "{name}: no non-empty CSV under {}",
+            exp.display()
+        );
+    }
+    let _ = std::fs::remove_dir_all(&workdir);
+}
+
+/// CSV files under `dir` that contain at least a header and one data row.
+fn non_empty_csvs(dir: &Path) -> Vec<std::path::PathBuf> {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return Vec::new();
+    };
+    entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .filter(|p| {
+            std::fs::read_to_string(p).is_ok_and(|s| {
+                let mut lines = s.lines().filter(|l| !l.trim().is_empty());
+                lines.next().is_some() && lines.next().is_some()
+            })
+        })
+        .collect()
+}

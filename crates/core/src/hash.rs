@@ -140,7 +140,7 @@ mod tests {
     fn innout_hash_binds_metadata() {
         let v = vec![9u8; 64];
         assert_ne!(innout_hash(1, &v), innout_hash(2, &v));
-        assert_ne!(innout_hash(1, &v), innout_hash(1, &vec![8u8; 64]));
+        assert_ne!(innout_hash(1, &v), innout_hash(1, &[8u8; 64]));
     }
 
     #[test]

@@ -297,11 +297,8 @@ impl InnOutReplica {
                 // array maximum, which may belong to another writer's
                 // buffer and would never match ours.
                 let own = self.metadata_buf();
-                let own_word =
-                    u64::from_le_bytes(bytes[own * 8..own * 8 + 8].try_into().unwrap());
-                inner
-                    .cached_meta
-                    .set(inner.cached_meta.get().max(own_word));
+                let own_word = u64::from_le_bytes(bytes[own * 8..own * 8 + 8].try_into().unwrap());
+                inner.cached_meta.set(inner.cached_meta.get().max(own_word));
                 self.parse_region(&bytes)
             }
             None => std::future::pending().await,
@@ -317,12 +314,14 @@ impl InnOutReplica {
         loop {
             inner.rounds.bump();
             inner.oop_fallbacks.set(inner.oop_fallbacks.get() + 1);
-            let bytes = match inner.ep.read(
-                l.node,
-                l.slot_addr(word_slot(word)),
-                OOP_HEADER + l.value_cap,
-            )
-            .await
+            let bytes = match inner
+                .ep
+                .read(
+                    l.node,
+                    l.slot_addr(word_slot(word)),
+                    OOP_HEADER + l.value_cap,
+                )
+                .await
             {
                 Some(b) => b,
                 None => std::future::pending().await,
@@ -343,9 +342,7 @@ impl InnOutReplica {
             if word_stamp(new_word).is_tombstone() {
                 return MVal::new(word_stamp(new_word), Vec::new());
             }
-            if new_word != 0
-                && value.len() == l.value_cap
-                && innout_hash(new_word, &value) == hash
+            if new_word != 0 && value.len() == l.value_cap && innout_hash(new_word, &value) == hash
             {
                 return MVal::new(word_stamp(new_word), value);
             }
@@ -357,106 +354,107 @@ impl InnOutReplica {
 impl ReplicaClient for InnOutReplica {
     /// Algorithm 5: one pipelined roundtrip writes the out-of-place buffer
     /// and MAXes the metadata word; the in-place copy is written lazily.
-    fn write(self, v: MVal) -> impl std::future::Future<Output = ()> + 'static {
-        async move {
-            let inner = &self.inner;
-            let l = &inner.layout;
-            if v.stamp.is_tombstone() {
-                // Deletes carry no payload: MAX the metadata word to the
-                // all-ones tombstone in one CAS (§5.3.2).
-                let word = meta_word(v.stamp, u16::MAX);
-                let expected = inner.cached_meta.get();
-                if expected >= word {
-                    return;
-                }
-                let prev = match inner
-                    .ep
-                    .cas(l.node, l.meta_word_addr(self.metadata_buf()), expected, word)
-                    .await
-                {
-                    Some(p) => p,
-                    None => std::future::pending().await,
-                };
-                self.max_meta(prev, expected, word).await;
-                return;
-            }
-            let slot = self.alloc_slot();
-            let word = meta_word(v.stamp, slot);
+    async fn write(self, v: MVal) {
+        let inner = &self.inner;
+        let l = &inner.layout;
+        if v.stamp.is_tombstone() {
+            // Deletes carry no payload: MAX the metadata word to the
+            // all-ones tombstone in one CAS (§5.3.2).
+            let word = meta_word(v.stamp, u16::MAX);
             let expected = inner.cached_meta.get();
             if expected >= word {
-                // Already superseded at this replica: MAX is a no-op.
                 return;
             }
-            let series = vec![
-                Op::Write {
-                    addr: l.slot_addr(slot),
-                    data: self.encode_oop(word, &v.value),
-                },
-                Op::Cas {
-                    addr: l.meta_word_addr(self.metadata_buf()),
+            let prev = match inner
+                .ep
+                .cas(
+                    l.node,
+                    l.meta_word_addr(self.metadata_buf()),
                     expected,
-                    new: word,
-                },
-            ];
-            let res = match inner.ep.submit(l.node, series).await {
-                Some(r) => r,
+                    word,
+                )
+                .await
+            {
+                Some(p) => p,
                 None => std::future::pending().await,
             };
-            let prev = res[1].clone().into_cas();
             self.max_meta(prev, expected, word).await;
-            if v.stamp.verified && inner.inplace_enabled {
-                self.write_inplace_bg(word, &v.value);
-            }
+            return;
+        }
+        let slot = self.alloc_slot();
+        let word = meta_word(v.stamp, slot);
+        let expected = inner.cached_meta.get();
+        if expected >= word {
+            // Already superseded at this replica: MAX is a no-op.
+            return;
+        }
+        let series = vec![
+            Op::Write {
+                addr: l.slot_addr(slot),
+                data: self.encode_oop(word, &v.value),
+            },
+            Op::Cas {
+                addr: l.meta_word_addr(self.metadata_buf()),
+                expected,
+                new: word,
+            },
+        ];
+        let res = match inner.ep.submit(l.node, series).await {
+            Some(r) => r,
+            None => std::future::pending().await,
+        };
+        let prev = res[1].clone().into_cas();
+        self.max_meta(prev, expected, word).await;
+        if v.stamp.verified && inner.inplace_enabled {
+            self.write_inplace_bg(word, &v.value);
         }
     }
 
     /// Algorithm 6 + §4.4: one roundtrip fetches the metadata array and the
     /// in-place data; hash validation decides between returning in-place
     /// data and reporting stamp-only (the reliable layer may then `fetch`).
-    fn read(self) -> impl std::future::Future<Output = Snapshot> + 'static {
-        async move {
-            let (word, value, hash) = self.read_region().await;
-            if word == 0 {
-                return Snapshot {
-                    stamp: Stamp::ZERO,
-                    token: 0,
-                    value: Some(Rc::new(Vec::new())),
-                };
+    async fn read(self) -> Snapshot {
+        let (word, value, hash) = self.read_region().await;
+        if word == 0 {
+            return Snapshot {
+                stamp: Stamp::ZERO,
+                token: 0,
+                value: Some(Rc::new(Vec::new())),
+            };
+        }
+        if word_stamp(word).is_tombstone() {
+            return Snapshot {
+                stamp: word_stamp(word),
+                token: word,
+                value: Some(Rc::new(Vec::new())),
+            };
+        }
+        if value.len() == self.inner.layout.value_cap && innout_hash(word, &value) == hash {
+            self.inner
+                .inplace_hits
+                .set(self.inner.inplace_hits.get() + 1);
+            Snapshot {
+                stamp: word_stamp(word),
+                token: word,
+                value: Some(Rc::new(value)),
             }
-            if word_stamp(word).is_tombstone() {
-                return Snapshot {
-                    stamp: word_stamp(word),
-                    token: word,
-                    value: Some(Rc::new(Vec::new())),
-                };
-            }
-            if value.len() == self.inner.layout.value_cap && innout_hash(word, &value) == hash {
-                self.inner.inplace_hits.set(self.inner.inplace_hits.get() + 1);
-                Snapshot {
-                    stamp: word_stamp(word),
-                    token: word,
-                    value: Some(Rc::new(value)),
-                }
-            } else {
-                Snapshot {
-                    stamp: word_stamp(word),
-                    token: word,
-                    value: None,
-                }
+        } else {
+            Snapshot {
+                stamp: word_stamp(word),
+                token: word,
+                value: None,
             }
         }
     }
 
-    fn fetch(self, token: u64) -> impl std::future::Future<Output = MVal> + 'static {
-        async move {
-            if token == 0 {
-                return MVal::initial();
-            }
-            if word_stamp(token).is_tombstone() {
-                return MVal::new(word_stamp(token), Vec::new());
-            }
-            self.chase(token).await
+    async fn fetch(self, token: u64) -> MVal {
+        if token == 0 {
+            return MVal::initial();
         }
+        if word_stamp(token).is_tombstone() {
+            return MVal::new(word_stamp(token), Vec::new());
+        }
+        self.chase(token).await
     }
 }
 
@@ -527,7 +525,8 @@ mod tests {
         let r = replica(&fabric, &layout, 1);
         let sim2 = sim.clone();
         let snap = sim.block_on(async move {
-            w.write(MVal::new(Stamp::verified(5, 0), vec![9u8; 64])).await;
+            w.write(MVal::new(Stamp::verified(5, 0), vec![9u8; 64]))
+                .await;
             // Let the lazy in-place write land.
             sim2.sleep_ns(10_000).await;
             r.read().await
@@ -543,8 +542,10 @@ mod tests {
         let w1 = replica(&fabric, &layout, 1);
         let r = replica(&fabric, &layout, 2);
         let got = sim.block_on(async move {
-            w0.write(MVal::new(Stamp::verified(10, 0), vec![1u8; 8])).await;
-            w1.write(MVal::new(Stamp::verified(4, 1), vec![2u8; 8])).await;
+            w0.write(MVal::new(Stamp::verified(10, 0), vec![1u8; 8]))
+                .await;
+            w1.write(MVal::new(Stamp::verified(4, 1), vec![2u8; 8]))
+                .await;
             let snap = r.clone().read().await;
             r.fetch(snap.token).await
         });
@@ -567,8 +568,10 @@ mod tests {
             rounds1.clone(),
         );
         sim.block_on(async move {
-            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8])).await;
-            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8])).await;
+            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8]))
+                .await;
+            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8]))
+                .await;
         });
         assert!(rounds1.get() >= 1, "stale-cache CAS retry not counted");
     }
@@ -587,8 +590,10 @@ mod tests {
         );
         let r = replica(&fabric, &layout, 2);
         let got = sim.block_on(async move {
-            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8])).await;
-            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8])).await;
+            w0.write(MVal::new(Stamp::verified(3, 0), vec![0u8; 8]))
+                .await;
+            w1.write(MVal::new(Stamp::verified(7, 1), vec![1u8; 8]))
+                .await;
             let snap = r.clone().read().await;
             r.fetch(snap.token).await
         });
@@ -607,9 +612,11 @@ mod tests {
         let r = replica(&fabric, &layout, 2);
         let sim2 = sim.clone();
         let (snap, fetched) = sim.block_on(async move {
-            a.write(MVal::new(Stamp::verified(5, 0), vec![0xA; 16])).await;
+            a.write(MVal::new(Stamp::verified(5, 0), vec![0xA; 16]))
+                .await;
             sim2.sleep_ns(10_000).await;
-            b.write(MVal::new(Stamp::guessed(9, 1), vec![0xB; 16])).await;
+            b.write(MVal::new(Stamp::guessed(9, 1), vec![0xB; 16]))
+                .await;
             let snap = r.clone().read().await;
             let f = r.fetch(snap.token).await;
             (snap, f)

@@ -76,10 +76,10 @@ impl History {
         assert!(n <= 64, "checker supports at most 64 operations");
         // precede[i] = bitmask of ops that must come before op i.
         let mut precede = vec![0u64; n];
-        for i in 0..n {
-            for j in 0..n {
-                if i != j && self.ops[j].ret < self.ops[i].invoke {
-                    precede[i] |= 1 << j;
+        for (i, mask) in precede.iter_mut().enumerate() {
+            for (j, other) in self.ops.iter().enumerate() {
+                if i != j && other.ret < self.ops[i].invoke {
+                    *mask |= 1 << j;
                 }
             }
         }

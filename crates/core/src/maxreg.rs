@@ -91,7 +91,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
     }
 
     fn deadline(&self) -> Nanos {
-        self.inner.sim.now() + self.inner.cfg.widen_timeout_ns
+        self.inner.sim.now() + self.inner.health.widen_timeout_ns(&self.inner.cfg)
     }
 
     /// Preferred replica indices: unsuspected first (in rotation order),
@@ -134,8 +134,8 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
         let good = already.iter().filter(|&&b| b).count();
         if good >= maj {
             // 0-RTT fast path; refresh stale replicas in the background.
-            for i in 0..n {
-                if !already[i] {
+            for (i, stored) in already.iter().enumerate() {
+                if !stored {
                     self.write_replica_bg(i, v.clone());
                 }
             }
@@ -143,6 +143,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
         }
 
         rounds.bump();
+        let t0 = self.inner.sim.now();
         let mut q = Quorum::new(maj - good);
         let mut map = Vec::new();
         let order = self.contact_order();
@@ -172,6 +173,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
             }
             (&mut q).await;
         }
+        self.inner.health.observe_rtt(self.inner.sim.now() - t0);
         for (slot, &i) in map.iter().enumerate() {
             if q.results()[slot].is_some() {
                 self.note_stored(i, v.stamp);
@@ -193,6 +195,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
     /// pairs for the responders.
     async fn read_majority(&self) -> Vec<(usize, Snapshot)> {
         self.inner.rounds.bump();
+        let t0 = self.inner.sim.now();
         let maj = self.majority();
         let mut q = Quorum::new(maj);
         let order = self.contact_order();
@@ -217,6 +220,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
             }
             (&mut q).await;
         }
+        self.inner.health.observe_rtt(self.inner.sim.now() - t0);
         let mut out = Vec::new();
         for (slot, &i) in map.iter().enumerate() {
             if let Some(snap) = q.results()[slot].clone() {

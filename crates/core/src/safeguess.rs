@@ -131,11 +131,12 @@ impl<M: MaxRegister> SafeGuess<M> {
             // No reader can ever return the guessed tuple; re-execute with a
             // timestamp provably fresh (> the stamp the parallel read saw).
             let fresh = Stamp::verified(m_stamp.i + 1, tid);
-            self.m.write(MVal {
-                stamp: fresh,
-                value: w.value,
-            })
-            .await;
+            self.m
+                .write(MVal {
+                    stamp: fresh,
+                    value: w.value,
+                })
+                .await;
             WritePath::Reexecuted
         } else {
             // A reader locked the guessed timestamp in read mode, which
@@ -147,9 +148,7 @@ impl<M: MaxRegister> SafeGuess<M> {
     /// Writes a value that can never be overwritten (SWARM-KV `delete`,
     /// §5.3.2): the tombstone carries the maximum timestamp.
     pub async fn write_tombstone(&self) {
-        self.m
-            .write(MVal::new(Stamp::TOMBSTONE, Vec::new()))
-            .await;
+        self.m.write(MVal::new(Stamp::TOMBSTONE, Vec::new())).await;
     }
 
     /// Reads the register (Algorithm 3). Wait-free: returns within
@@ -168,6 +167,12 @@ impl<M: MaxRegister> SafeGuess<M> {
                 };
             }
             let tid = m.stamp.tid;
+            // NOT a collapsible match: a failed read-lock must fall through
+            // to re-reading, never to the second-tuple arm below — the lock
+            // fails exactly when the writer holds the write lock and will
+            // re-execute, so returning the guess here would let two reads
+            // observe it at different timestamps (new-old inversion).
+            #[allow(clippy::collapsible_match)]
             match seen.get(&tid) {
                 Some(prev) if prev.stamp == m.stamp => {
                     // Seen twice: the stamp was fresh (Lemma C.1). Ensure the
@@ -253,9 +258,7 @@ impl<M: MaxRegister> Abd<M> {
 
     /// Writes the delete tombstone.
     pub async fn write_tombstone(&self) {
-        self.m
-            .write(MVal::new(Stamp::TOMBSTONE, Vec::new()))
-            .await;
+        self.m.write(MVal::new(Stamp::TOMBSTONE, Vec::new())).await;
     }
 
     /// Reads the register.

@@ -85,43 +85,37 @@ impl SimReplica {
 }
 
 impl ReplicaClient for SimReplica {
-    fn write(self, v: MVal) -> impl std::future::Future<Output = ()> + 'static {
-        async move {
-            self.sim.sleep_ns(self.leg()).await;
-            self.if_dead_hang_forever().await;
-            {
-                // Atomic MAX at a single instant: the idealization.
-                let mut cur = self.state.state.borrow_mut();
-                if v > *cur {
-                    *cur = v;
-                }
+    async fn write(self, v: MVal) {
+        self.sim.sleep_ns(self.leg()).await;
+        self.if_dead_hang_forever().await;
+        {
+            // Atomic MAX at a single instant: the idealization.
+            let mut cur = self.state.state.borrow_mut();
+            if v > *cur {
+                *cur = v;
             }
-            self.sim.sleep_ns(self.leg()).await;
+        }
+        self.sim.sleep_ns(self.leg()).await;
+    }
+
+    async fn read(self) -> Snapshot {
+        self.sim.sleep_ns(self.leg()).await;
+        self.if_dead_hang_forever().await;
+        let cur = self.state.state.borrow().clone();
+        self.sim.sleep_ns(self.leg()).await;
+        Snapshot {
+            stamp: cur.stamp,
+            token: cur.stamp.pack48(),
+            value: Some(Rc::clone(&cur.value)),
         }
     }
 
-    fn read(self) -> impl std::future::Future<Output = Snapshot> + 'static {
-        async move {
-            self.sim.sleep_ns(self.leg()).await;
-            self.if_dead_hang_forever().await;
-            let cur = self.state.state.borrow().clone();
-            self.sim.sleep_ns(self.leg()).await;
-            Snapshot {
-                stamp: cur.stamp,
-                token: cur.stamp.pack48(),
-                value: Some(Rc::clone(&cur.value)),
-            }
-        }
-    }
-
-    fn fetch(self, _token: u64) -> impl std::future::Future<Output = MVal> + 'static {
-        async move {
-            self.sim.sleep_ns(self.leg()).await;
-            self.if_dead_hang_forever().await;
-            let cur = self.state.state.borrow().clone();
-            self.sim.sleep_ns(self.leg()).await;
-            cur
-        }
+    async fn fetch(self, _token: u64) -> MVal {
+        self.sim.sleep_ns(self.leg()).await;
+        self.if_dead_hang_forever().await;
+        let cur = self.state.state.borrow().clone();
+        self.sim.sleep_ns(self.leg()).await;
+        cur
     }
 }
 

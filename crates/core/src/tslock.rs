@@ -153,7 +153,8 @@ impl TsLock {
             map.push(i);
             q.push(make(i));
         }
-        let deadline = inner.sim.now() + inner.cfg.widen_timeout_ns;
+        let t0 = inner.sim.now();
+        let deadline = t0 + inner.health.widen_timeout_ns(&inner.cfg);
         if timeout_at(&inner.sim, deadline, &mut q).await.is_err() {
             for (slot, &i) in map.iter().enumerate() {
                 if q.results()[slot].is_none() {
@@ -166,6 +167,7 @@ impl TsLock {
             }
             (&mut q).await;
         }
+        inner.health.observe_rtt(inner.sim.now() - t0);
         inner.rounds.add(max_iters.get().max(1));
 
         // Decision (Algorithm 4 lines 11–13) over the completed majority.

@@ -97,16 +97,7 @@ fn swarm_registers(
     let layouts: Vec<InnOutLayout> = fabric
         .node_ids()
         .into_iter()
-        .map(|n| {
-            InnOutLayout::allocate(
-                fabric,
-                n,
-                meta_bufs,
-                VALUE_LEN,
-                n_clients * 8,
-                n_clients,
-            )
-        })
+        .map(|n| InnOutLayout::allocate(fabric, n, meta_bufs, VALUE_LEN, n_clients * 8, n_clients))
         .collect();
     let lock_words: Vec<(NodeId, u64)> = fabric
         .node_ids()
@@ -178,7 +169,9 @@ fn run_linearizability_workload<M: MaxRegister>(
                     // Unique value per (client, op index).
                     let v = 1 + (tid * ops_per_client + k) as u64;
                     reg.write(encode(v)).await;
-                    history.borrow_mut().push(invoke, sim2.now(), OpKind::Write(v));
+                    history
+                        .borrow_mut()
+                        .push(invoke, sim2.now(), OpKind::Write(v));
                 } else {
                     let out = reg.read().await;
                     assert!(
@@ -187,7 +180,9 @@ fn run_linearizability_workload<M: MaxRegister>(
                         out.iterations
                     );
                     let v = decode(&out.value.value);
-                    history.borrow_mut().push(invoke, sim2.now(), OpKind::Read(v));
+                    history
+                        .borrow_mut()
+                        .push(invoke, sim2.now(), OpKind::Read(v));
                 }
             }
         });

@@ -53,7 +53,11 @@ impl NodeMemory {
         let mut bytes = self.bytes.borrow_mut();
         let start = addr as usize;
         let end = start + data.len();
-        assert!(end <= bytes.len(), "write out of bounds: {addr}+{}", data.len());
+        assert!(
+            end <= bytes.len(),
+            "write out of bounds: {addr}+{}",
+            data.len()
+        );
         bytes[start..end].copy_from_slice(data);
     }
 

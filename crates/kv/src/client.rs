@@ -15,8 +15,7 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use swarm_core::{
-    Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser,
-    TsLock, WritePath,
+    Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock, WritePath,
 };
 use swarm_fabric::Endpoint;
 use swarm_sim::{join2, GuessClock};
@@ -345,10 +344,8 @@ impl KvStore for KvClient {
     /// turns into an update on the existing replicas.
     async fn insert(&self, key: u64, value: Vec<u8>) -> bool {
         // Fast path: known key -> plain update.
-        if self.cache.borrow_mut().get(key).is_some() {
-            if self.update(key, value.clone()).await {
-                return true;
-            }
+        if self.cache.borrow_mut().get(key).is_some() && self.update(key, value.clone()).await {
+            return true;
         }
         let info = self.cluster.alloc_key(key);
         let h = self.build_handle(&info);
@@ -358,9 +355,7 @@ impl KvStore for KvClient {
         let ((outcome, existing), _wrote) = join2(ins, write).await;
         match outcome {
             InsertOutcome::Inserted => {
-                self.cache
-                    .borrow_mut()
-                    .insert(self.cluster.sim(), key, h);
+                self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
                 true
             }
             InsertOutcome::Exists => {
@@ -369,9 +364,7 @@ impl KvStore for KvClient {
                 let existing = existing.expect("Exists implies a mapping");
                 let h2 = self.build_handle(&existing);
                 if self.write_via(&h2, value.clone()).await {
-                    self.cache
-                        .borrow_mut()
-                        .insert(self.cluster.sim(), key, h2);
+                    self.cache.borrow_mut().insert(self.cluster.sim(), key, h2);
                     true
                 } else {
                     // The existing mapping is tombstoned: overwrite it with
@@ -379,9 +372,7 @@ impl KvStore for KvClient {
                     // marked for deletion is overwritten").
                     self.rounds.bump();
                     index.set(key, Rc::clone(&info)).await;
-                    self.cache
-                        .borrow_mut()
-                        .insert(self.cluster.sim(), key, h);
+                    self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
                     true
                 }
             }

@@ -210,8 +210,8 @@ impl Cluster {
             let node = self.inner.fabric.node(layout.node);
             let word = (stamp.pack48() << 16) | info.loader_slot as u64;
             // Out-of-place slot: [meta | hash | value].
-            let slot_addr = layout.oop_addr
-                + info.loader_slot as u64 * (16 + cfg.value_size) as u64;
+            let slot_addr =
+                layout.oop_addr + info.loader_slot as u64 * (16 + cfg.value_size) as u64;
             node.mem().write_u64(slot_addr, word);
             node.mem()
                 .write_u64(slot_addr + 8, innout_hash(word, value));

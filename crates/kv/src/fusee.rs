@@ -178,7 +178,7 @@ impl FuseeCluster {
         assert_eq!(value.len(), cfg.value_size);
         let info = self.alloc_key(key);
         let version = 1u64;
-        let slot = (version % cfg.ring as u64) as u64;
+        let slot = version % cfg.ring as u64;
         for (i, &n) in info.replica_nodes.iter().enumerate() {
             let node = self.inner.fabric.node(n);
             let addr = info.ring_base[i] + slot * self.block_len();
@@ -408,7 +408,10 @@ impl KvStore for FuseeKv {
 
         // RTT 4: read-back validation.
         self.rounds.bump();
-        let _ = self.ep.read(info.ptr_primary.0, info.ptr_primary.1, 8).await;
+        let _ = self
+            .ep
+            .read(info.ptr_primary.0, info.ptr_primary.1, 8)
+            .await;
 
         self.cache.borrow_mut().insert(
             self.cluster.sim(),
@@ -424,11 +427,7 @@ impl KvStore for FuseeKv {
     async fn insert(&self, key: u64, value: Vec<u8>) -> bool {
         let info = self.cluster.alloc_key(key);
         self.rounds.bump();
-        self.cluster
-            .inner
-            .index
-            .set(key, Rc::clone(&info))
-            .await;
+        self.cluster.inner.index.set(key, Rc::clone(&info)).await;
         self.update(key, value).await
     }
 

@@ -54,6 +54,37 @@ impl Default for RunConfig {
     }
 }
 
+impl RunConfig {
+    /// Applies `SWARM_BENCH_OPS_SCALE` (a float, e.g. `0.01`) to every
+    /// volume knob: op counts, prewarm keys, and the virtual-time deadline.
+    /// The bench smoke test sets it so every figure binary exercises its
+    /// full pipeline in a fraction of the quick-mode volume.
+    fn env_scaled(&self) -> RunConfig {
+        let Some(scale) = std::env::var("SWARM_BENCH_OPS_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+        else {
+            return self.clone();
+        };
+        let scaled = |n: u64| ((n as f64 * scale) as u64).max(1);
+        RunConfig {
+            warmup_ops: if self.warmup_ops > 0 {
+                scaled(self.warmup_ops)
+            } else {
+                0
+            },
+            measure_ops: scaled(self.measure_ops),
+            // Same floor as the bench harness's scaled keyspace (64 keys),
+            // so prewarming still covers the keyspace it is meant to warm.
+            prewarm_keys: self
+                .prewarm_keys
+                .map(|n| ((n as f64 * scale) as u64).clamp(64.min(n), n)),
+            deadline_ns: self.deadline_ns.map(scaled),
+            ..self.clone()
+        }
+    }
+}
+
 /// Collected results.
 #[derive(Debug, Default)]
 pub struct RunStats {
@@ -138,6 +169,7 @@ pub fn run_workload<S: KvStore + 'static>(
     workload: &Workload,
     cfg: &RunConfig,
 ) -> RunStats {
+    let cfg = &cfg.env_scaled();
     let shared = Rc::new(RefCell::new(Shared {
         warmup_left: cfg.warmup_ops,
         measure_left: cfg.measure_ops,
@@ -182,7 +214,9 @@ pub fn run_workload<S: KvStore + 'static>(
         );
     }
 
-    let shared = Rc::try_unwrap(shared).ok().expect("workers still hold state");
+    let shared = Rc::try_unwrap(shared)
+        .ok()
+        .expect("workers still hold state");
     shared.into_inner().stats
 }
 

@@ -4,8 +4,8 @@
 use std::rc::Rc;
 
 use swarm_kv::{
-    run_workload, Cluster, ClusterConfig, FuseeCluster, FuseeKv, KvClient, KvClientConfig,
-    KvStore, Proto, RunConfig,
+    run_workload, Cluster, ClusterConfig, FuseeCluster, FuseeKv, KvClient, KvClientConfig, KvStore,
+    Proto, RunConfig,
 };
 use swarm_sim::Sim;
 use swarm_workload::{OpType, Workload, WorkloadSpec};
@@ -221,7 +221,10 @@ fn latency_medians_match_paper_shape() {
         .map(|i| KvClient::new(&c, Proto::Raw, i, KvClientConfig::default()))
         .collect();
     let mut stats = run_workload(&sim, &clients, &wl, &cfg);
-    let (raw_get, raw_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+    let (raw_get, raw_upd) = (
+        run(&mut stats, OpType::Get),
+        run(&mut stats, OpType::Update),
+    );
 
     let sim = Sim::new(11);
     let c = swarm_cluster(&sim, 1_000);
@@ -229,7 +232,10 @@ fn latency_medians_match_paper_shape() {
         .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
         .collect();
     let mut stats = run_workload(&sim, &clients, &wl, &cfg);
-    let (sw_get, sw_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+    let (sw_get, sw_upd) = (
+        run(&mut stats, OpType::Get),
+        run(&mut stats, OpType::Update),
+    );
 
     let sim = Sim::new(12);
     let c = abd_cluster(&sim, 1_000);
@@ -237,14 +243,20 @@ fn latency_medians_match_paper_shape() {
         .map(|i| KvClient::new(&c, Proto::Abd, i, KvClientConfig::default()))
         .collect();
     let mut stats = run_workload(&sim, &clients, &wl, &cfg);
-    let (abd_get, abd_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+    let (abd_get, abd_upd) = (
+        run(&mut stats, OpType::Get),
+        run(&mut stats, OpType::Update),
+    );
 
     let sim = Sim::new(13);
     let c = FuseeCluster::new(&sim, Default::default());
     c.load_keys(1_000, |k| vec![k as u8; 64]);
     let clients: Vec<_> = (0..4).map(|i| FuseeKv::new(&c, i, 1 << 20)).collect();
     let mut stats = run_workload(&sim, &clients, &wl, &cfg);
-    let (fu_get, fu_upd) = (run(&mut stats, OpType::Get), run(&mut stats, OpType::Update));
+    let (fu_get, fu_upd) = (
+        run(&mut stats, OpType::Get),
+        run(&mut stats, OpType::Update),
+    );
 
     eprintln!("medians (µs): RAW {raw_get:.2}/{raw_upd:.2}  SWARM {sw_get:.2}/{sw_upd:.2}  DM-ABD {abd_get:.2}/{abd_upd:.2}  FUSEE {fu_get:.2}/{fu_upd:.2}");
 
@@ -307,7 +319,11 @@ fn runner_reports_throughput_and_latency() {
     );
     assert_eq!(stats.measured_ops, 1_000);
     assert_eq!(stats.failed_ops, 0);
-    assert!(stats.throughput_ops() > 50_000.0, "{}", stats.throughput_ops());
+    assert!(
+        stats.throughput_ops() > 50_000.0,
+        "{}",
+        stats.throughput_ops()
+    );
     assert!(stats.lat(OpType::Get).len() > 300);
     assert!(stats.lat(OpType::Update).len() > 300);
 }

@@ -89,10 +89,7 @@ pub enum Either<A, B> {
 }
 
 /// Awaits the first of two futures to complete; the loser is dropped.
-pub async fn race2<A, B>(
-    a: impl Future<Output = A>,
-    b: impl Future<Output = B>,
-) -> Either<A, B> {
+pub async fn race2<A, B>(a: impl Future<Output = A>, b: impl Future<Output = B>) -> Either<A, B> {
     Race2 {
         a: Box::pin(a),
         b: Box::pin(b),

@@ -276,12 +276,7 @@ impl Sim {
             while let Some(id) = self.inner.ready.pop() {
                 self.poll_task(id);
             }
-            let next_at = self
-                .inner
-                .events
-                .borrow()
-                .peek()
-                .map(|Reverse(ev)| ev.at);
+            let next_at = self.inner.events.borrow().peek().map(|Reverse(ev)| ev.at);
             match next_at {
                 Some(at) if at <= deadline => {
                     let Reverse(ev) = self.inner.events.borrow_mut().pop().unwrap();

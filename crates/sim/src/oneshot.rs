@@ -105,7 +105,7 @@ mod tests {
         let sim = Sim::new(1);
         let (tx, rx) = oneshot::<u32>();
         sim.schedule_after(200, move |_| drop(tx));
-        let got = sim.block_on(async move { rx.await });
+        let got = sim.block_on(rx);
         assert_eq!(got, None);
     }
 
@@ -114,6 +114,6 @@ mod tests {
         let sim = Sim::new(1);
         let (tx, rx) = oneshot::<&'static str>();
         tx.send("hi");
-        assert_eq!(sim.block_on(async move { rx.await }), Some("hi"));
+        assert_eq!(sim.block_on(rx), Some("hi"));
     }
 }

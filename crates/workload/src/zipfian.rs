@@ -177,6 +177,9 @@ mod tests {
                 collisions += 1;
             }
         }
-        assert!(collisions <= 15, "too many hot-rank collisions: {collisions}");
+        assert!(
+            collisions <= 15,
+            "too many hot-rank collisions: {collisions}"
+        );
     }
 }

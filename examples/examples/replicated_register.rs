@@ -35,18 +35,38 @@ fn make_register(
         .map(|(i, l)| InnOutReplica::new(Rc::clone(&ep), l.clone(), tid, i == 0, rounds.clone()))
         .collect();
     let node_of = layouts.iter().map(|l| l.node.0).collect();
-    let m = ReliableMaxReg::new(sim, replicas, node_of, 0, Rc::clone(&health), QuorumConfig::default(), rounds.clone());
+    let m = ReliableMaxReg::new(
+        sim,
+        replicas,
+        node_of,
+        0,
+        Rc::clone(&health),
+        QuorumConfig::default(),
+        rounds.clone(),
+    );
     let tsl: Vec<TsLock> = (0..WRITERS)
         .map(|w| {
             let words = lock_words
                 .iter()
                 .map(|&(n, base)| (n, base + 8 * w as u64))
                 .collect();
-            TsLock::new(sim, Rc::clone(&ep), words, Rc::clone(&health), QuorumConfig::default(), rounds.clone())
+            TsLock::new(
+                sim,
+                Rc::clone(&ep),
+                words,
+                Rc::clone(&health),
+                QuorumConfig::default(),
+                rounds.clone(),
+            )
         })
         .collect();
     let clock = Rc::new(GuessClock::new(sim, skew_ns, 10.0, skew_ns / 2 + 1));
-    SafeGuess::new(m, Rc::new(tsl), Rc::new(TsGuesser::new(clock, tid as u8)), rounds)
+    SafeGuess::new(
+        m,
+        Rc::new(tsl),
+        Rc::new(TsGuesser::new(clock, tid as u8)),
+        rounds,
+    )
 }
 
 fn main() {

@@ -37,7 +37,7 @@ fn run(proto: Proto, label: &str) {
             ..Default::default()
         },
     );
-    cluster.load_keys(TICKERS, |k| quote(k));
+    cluster.load_keys(TICKERS, quote);
 
     // One feed writer, three trading engines.
     let feed = KvClient::new(&cluster, proto, 0, KvClientConfig::default());

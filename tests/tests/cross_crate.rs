@@ -117,14 +117,18 @@ fn kv_store_is_linearizable_under_concurrency_and_crash() {
                         let mut bytes = vec![0u8; 64];
                         bytes[..8].copy_from_slice(&v.to_le_bytes());
                         assert!(client.update(2, bytes).await);
-                        history.borrow_mut().push(invoke, sim2.now(), OpKind::Write(v));
+                        history
+                            .borrow_mut()
+                            .push(invoke, sim2.now(), OpKind::Write(v));
                     } else {
                         let got = client.get(2).await.expect("key 2 never deleted");
                         let v = u64::from_le_bytes(got[..8].try_into().unwrap());
                         // The loaded value encodes the key (2); map it to the
                         // checker's initial value 0.
                         let v = if v == 2 { 0 } else { v };
-                        history.borrow_mut().push(invoke, sim2.now(), OpKind::Read(v));
+                        history
+                            .borrow_mut()
+                            .push(invoke, sim2.now(), OpKind::Read(v));
                     }
                 }
             });

@@ -3,7 +3,9 @@
 
 use proptest::prelude::*;
 
-use swarm_core::{innout_hash, xxh64, History, LockMode, NodeHealth, OpKind, QuorumConfig, Rounds, Stamp, TsLock};
+use swarm_core::{
+    innout_hash, xxh64, History, LockMode, NodeHealth, OpKind, QuorumConfig, Rounds, Stamp, TsLock,
+};
 use swarm_fabric::{Fabric, FabricConfig, NodeId};
 use swarm_kv::LfuCache;
 use swarm_sim::{Histogram, Sim};

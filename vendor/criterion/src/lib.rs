@@ -1,0 +1,189 @@
+//! Minimal offline stand-in for the `criterion` crate.
+//!
+//! Implements the API surface `benches/micro.rs` uses — `criterion_group!`,
+//! `criterion_main!`, `Criterion::{bench_function, benchmark_group}`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`, and
+//! `Bencher::{iter, iter_batched}` — with a plain adaptive wall-clock timing
+//! loop instead of criterion's statistical machinery. Each benchmark warms
+//! up briefly, then runs until ~100 ms of measured time has accumulated and
+//! reports mean ns/iter (plus MiB/s when a byte throughput is set).
+//!
+//! Pass `--quick` (or set `CRITERION_QUICK=1`) to run each benchmark for
+//! only a handful of iterations — enough for smoke tests.
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup cost relates to the routine (ignored; kept for
+/// API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Units for reporting throughput alongside time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+        || std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0")
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        let budget = if quick_mode() {
+            Duration::from_millis(2)
+        } else {
+            Duration::from_millis(100)
+        };
+        Bencher {
+            total: Duration::ZERO,
+            iters: 0,
+            budget,
+        }
+    }
+
+    /// Times `routine` in batches until the measurement budget is spent.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let mut batch = 1u64;
+        while self.total < self.budget {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(routine());
+            }
+            self.total += start.elapsed();
+            self.iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        while self.total < self.budget {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.total += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{id:<40} (no iterations)");
+            return;
+        }
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        let mut line = format!("{id:<40} {ns:>14.1} ns/iter");
+        if let Some(Throughput::Bytes(b)) = throughput {
+            let mib_s = b as f64 / (ns / 1e9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  {mib_s:>10.1} MiB/s"));
+        }
+        if let Some(Throughput::Elements(e)) = throughput {
+            let elem_s = e as f64 / (ns / 1e9);
+            line.push_str(&format!("  {elem_s:>10.0} elem/s"));
+        }
+        println!("{line}");
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(id, None);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _c: self,
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<S: Into<String>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: S,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("  {}", id.into()), self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_counts() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Bytes(64));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![0u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+    }
+}
