@@ -8,6 +8,9 @@ cargo fmt --check
 echo "== cargo clippy --all-targets (deny warnings)"
 cargo clippy --all-targets -- -D warnings
 
+echo "== cargo doc --no-deps (deny rustdoc warnings)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
 echo "== cargo build --release"
 cargo build --release
 

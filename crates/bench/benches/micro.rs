@@ -6,7 +6,7 @@
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
-use swarm_bench::{build, ExpParams, System, Testbed};
+use swarm_bench::{build, ExpParams, Protocol};
 use swarm_kv::KvStore;
 use swarm_sim::Sim;
 use swarm_workload::Zipfian;
@@ -54,7 +54,7 @@ fn bench_sim_events(c: &mut Criterion) {
 
 fn bench_kv_ops(c: &mut Criterion) {
     let mut g = c.benchmark_group("simulated_kv_op");
-    for sys in [System::Raw, System::Swarm, System::DmAbd] {
+    for sys in [Protocol::Raw, Protocol::SafeGuess, Protocol::Abd] {
         g.bench_function(format!("{}_get+update", sys.name()), |b| {
             b.iter_batched(
                 || {
@@ -69,13 +69,10 @@ fn bench_kv_ops(c: &mut Criterion) {
                     (sim, bed)
                 },
                 |(sim, bed)| {
-                    let Testbed::Cluster { clients, .. } = &bed else {
-                        unreachable!()
-                    };
-                    let c0 = std::rc::Rc::clone(&clients[0]);
+                    let c0 = std::rc::Rc::clone(&bed.clients[0]);
                     sim.block_on(async move {
-                        black_box(c0.get(1).await);
-                        black_box(c0.update(1, vec![7u8; 64]).await);
+                        black_box(c0.get(1).await.unwrap());
+                        c0.update(1, black_box(vec![7u8; 64])).await.unwrap();
                     });
                 },
                 BatchSize::SmallInput,

@@ -3,7 +3,7 @@
 //! vs DM-ABD, YCSB B. With only 4 memory nodes, 5 and 7 replicas co-locate
 //! some replicas (§7.5).
 
-use swarm_bench::{run_system, write_csv, ExpParams, System};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         "{:<10} {:>9} {:>18} {:>20} {:>12}",
         "system", "replicas", "get med(p1/p99)us", "update med(p1/p99)us", "kops/client"
     );
-    for sys in [System::Swarm, System::DmAbd] {
+    for sys in [Protocol::SafeGuess, Protocol::Abd] {
         let mut rows = Vec::new();
         for replicas in [3usize, 5, 7] {
             let p = ExpParams {

@@ -4,7 +4,7 @@
 //! replicas; latency rises briefly (timeouts + lost in-place data +
 //! lost unanimity) and recovers as subsequent writes rebuild state (§7.7).
 
-use swarm_bench::{build, run_workload, write_csv, ExpParams, System, Testbed};
+use swarm_bench::{build, run_workload, write_csv, ExpParams, Protocol};
 use swarm_fabric::NodeId;
 use swarm_sim::{Sim, NANOS_PER_MILLI};
 use swarm_workload::WorkloadSpec;
@@ -22,12 +22,12 @@ fn main() {
     let end_at = 400 * NANOS_PER_MILLI;
 
     let sim = Sim::new(p.seed);
-    let bed = build(&sim, System::Swarm, &p);
-    let Testbed::Cluster { cluster, clients } = &bed else {
-        unreachable!()
-    };
-    cluster.membership().watch_until(end_at);
-    let c2 = cluster.clone();
+    let bed = build(&sim, Protocol::SafeGuess, &p);
+    bed.cluster
+        .membership()
+        .expect("SWARM-KV has a membership service")
+        .watch_until(end_at);
+    let c2 = bed.cluster.clone();
     sim.schedule_at(crash_at, move |_| {
         c2.crash_node(NodeId(0));
         eprintln!("[sim] crashed memory node 0");
@@ -37,7 +37,7 @@ fn main() {
     rc.deadline_ns = Some(end_at);
     rc.bucket_ns = Some(2 * NANOS_PER_MILLI);
     let wl = p.workload(WorkloadSpec::A);
-    let stats = run_workload(&sim, clients, &wl, &rc);
+    let stats = run_workload(&sim, &bed.clients, &wl, &rc);
 
     println!("Figure 11: SWARM-KV around a memory-node crash (t=0 at the crash)");
     println!("{:>10} {:>12} {:>12}", "t_ms", "kops", "avg_lat_us");

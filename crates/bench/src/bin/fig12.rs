@@ -3,7 +3,7 @@
 //! helping the max register); updates stay within a few roundtrips thanks
 //! to the per-writer metadata buffers. DM-ABD degrades much more (§7.8).
 
-use swarm_bench::{report_cdf, run_system, write_csv, ExpParams, System};
+use swarm_bench::{report_cdf, run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -16,7 +16,7 @@ fn main() {
     }
     .apply_cli();
     println!("Figure 12: single key, 16 clients, YCSB A");
-    for sys in [System::Swarm, System::DmAbd] {
+    for sys in [Protocol::SafeGuess, Protocol::Abd] {
         let (stats, _, _) = run_system(p.seed, sys, &p, WorkloadSpec::A, |rc| {
             rc.record_rtts = true;
         });

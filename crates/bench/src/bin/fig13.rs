@@ -3,7 +3,7 @@
 //! 64 clients, YCSB B. More buffers make 1-roundtrip updates common (each
 //! writer CASes its own word) at the price of slightly larger reads.
 
-use swarm_bench::{report_cdf, run_system, write_csv, ExpParams, System};
+use swarm_bench::{report_cdf, run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
             measure_ops: if quick { 60_000 } else { 1_000_000 },
             ..Default::default()
         };
-        let (stats, _, _) = run_system(p.seed, System::Swarm, &p, WorkloadSpec::B, |rc| {
+        let (stats, _, _) = run_system(p.seed, Protocol::SafeGuess, &p, WorkloadSpec::B, |rc| {
             rc.record_rtts = true;
             rc.prewarm_keys = Some(p.n_keys); // steady-state caches
         });

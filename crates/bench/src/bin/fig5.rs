@@ -1,7 +1,7 @@
 //! Figure 5: latency CDFs of RAW, SWARM-KV, DM-ABD and FUSEE with YCSB
 //! workload B, Zipfian keys, 4 clients, 100 K keys, 64 B values.
 
-use swarm_bench::{report_cdf, run_system, ExpParams, System};
+use swarm_bench::{report_cdf, run_system, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
         "Figure 5: latency CDFs, YCSB B, {} keys, {} clients",
         p.n_keys, p.clients
     );
-    for sys in System::all() {
+    for sys in Protocol::all() {
         let (stats, _, _) = run_system(p.seed, sys, &p, WorkloadSpec::B, |_| {});
         println!("{}:", sys.name());
         report_cdf(

@@ -3,7 +3,7 @@
 //! 24 B for DM-ABD/FUSEE but 32 B for SWARM-KV (they also carry In-n-Out's
 //! metadata word), so SWARM-KV caches ~25% fewer keys (§7.1).
 
-use swarm_bench::{report_cdf, run_system, ExpParams, System, Testbed};
+use swarm_bench::{report_cdf, run_system, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 const CACHE_BYTES: usize = 5 * 1024 * 1024;
@@ -20,8 +20,8 @@ fn main() {
         "Figure 6: latency CDFs with {} keys and 5 MiB caches (quick={quick})",
         base.n_keys
     );
-    for sys in [System::Swarm, System::DmAbd, System::Fusee] {
-        let entry_bytes = if sys == System::Swarm { 32 } else { 24 };
+    for sys in [Protocol::SafeGuess, Protocol::Abd, Protocol::Fusee] {
+        let entry_bytes = if sys == Protocol::SafeGuess { 32 } else { 24 };
         let entries = CACHE_BYTES / entry_bytes;
         // Scale the cache with the keyspace in quick mode so the miss rate
         // matches the paper's 1M-key configuration.
@@ -32,16 +32,12 @@ fn main() {
         };
         let (stats, _, bed) = run_system(p.seed, sys, &p, WorkloadSpec::B, |_| {});
         let coverage = entries as f64 / p.n_keys as f64 * 100.0;
-        let miss = match &bed {
-            Testbed::Cluster { clients, .. } => {
-                let (h, m): (u64, u64) = clients
-                    .iter()
-                    .map(|c| c.cache_stats())
-                    .fold((0, 0), |(a, b), (h, m)| (a + h, b + m));
-                m as f64 / (h + m).max(1) as f64 * 100.0
-            }
-            Testbed::Fusee { .. } => f64::NAN,
-        };
+        let (h, m): (u64, u64) = bed
+            .clients
+            .iter()
+            .map(|c| c.cache_stats())
+            .fold((0, 0), |(a, b), (h, m)| (a + h, b + m));
+        let miss = m as f64 / (h + m).max(1) as f64 * 100.0;
         println!(
             "{} (cache {} entries = {:.1}% of keys, miss rate {:.1}%):",
             sys.name(),

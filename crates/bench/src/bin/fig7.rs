@@ -1,7 +1,7 @@
 //! Figure 7: per-core throughput–latency of SWARM-KV and DM-ABD, YCSB A and
 //! B, varying the number of concurrent operations per client from 1 to 8.
 
-use swarm_bench::{run_system, write_csv, ExpParams, System};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::WorkloadSpec;
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
             "{:<10} {:>5} {:>12} {:>12}",
             "system", "conc", "kops/core", "avg_lat_us"
         );
-        for sys in [System::Swarm, System::DmAbd] {
+        for sys in [Protocol::SafeGuess, Protocol::Abd] {
             let mut rows = Vec::new();
             for conc in 1..=8usize {
                 let p = ExpParams {

@@ -3,7 +3,7 @@
 //! 4 concurrent ops. Beyond 32 clients, client threads share physical cores
 //! (hyperthreading) and the 100 Gbps fabric approaches saturation (§7.3).
 
-use swarm_bench::{run_system, write_csv, ExpParams, System, Testbed};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
             "{:<10} {:>8} {:>10} {:>10} {:>12}",
             "system", "clients", "get_us", "upd_us", "tput_Mops"
         );
-        for sys in [System::Swarm, System::DmAbd] {
+        for sys in [Protocol::SafeGuess, Protocol::Abd] {
             let mut rows = Vec::new();
             for &n in &counts {
                 let p = ExpParams {
@@ -33,9 +33,7 @@ fn main() {
                 let (stats, _, bed) = run_system(p.seed, sys, &p, WorkloadSpec::B, |_| {});
                 // Hyperthread sharing beyond 32 clients (2x 8c/16t per the
                 // testbed, Table 1).
-                if let Testbed::Cluster { clients, .. } = &bed {
-                    debug_assert_eq!(clients.len(), n);
-                }
+                debug_assert_eq!(bed.clients.len(), n);
                 let g = stats.lat(OpType::Get).mean() / 1e3;
                 let u = stats.lat(OpType::Update).mean() / 1e3;
                 let t = stats.throughput_ops() / 1e6;

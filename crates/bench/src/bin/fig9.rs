@@ -2,7 +2,7 @@
 //! throughput, for YCSB A and B, compared against a SWARM-KV variant
 //! without in-place updates ("Out-P.").
 
-use swarm_bench::{run_system, write_csv, ExpParams, System};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -27,7 +27,7 @@ fn main() {
                     concurrency: 4,
                     ..Default::default()
                 };
-                let (stats, _, _) = run_system(p.seed, System::Swarm, &p, spec, |_| {});
+                let (stats, _, _) = run_system(p.seed, Protocol::SafeGuess, &p, spec, |_| {});
                 let g = stats.lat(OpType::Get).mean() / 1e3;
                 let u = stats.lat(OpType::Update).mean() / 1e3;
                 let t = stats.throughput_ops() / 1e6;

@@ -1,7 +1,7 @@
 //! Table 2: number of roundtrips for gets and updates — common case and
 //! 99th percentile — under YCSB B (§7.1's standard workload).
 
-use swarm_bench::{run_system, write_csv, ExpParams, System};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
@@ -19,7 +19,7 @@ fn main() {
         "system", "get common", "update common", "get p99", "update p99"
     );
     let mut rows = Vec::new();
-    for sys in System::all() {
+    for sys in Protocol::all() {
         let (stats, _, _) = run_system(p.seed, sys, &p, WorkloadSpec::B, |rc| {
             rc.record_rtts = true;
             // Table 2 reports the steady state: all locations cached.

@@ -7,7 +7,7 @@
 //! a client core is busy for the whole operation (issue + poll) plus
 //! per-op application work.
 
-use swarm_bench::{run_system, write_csv, ExpParams, System, Testbed};
+use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
 use swarm_sim::NANOS_PER_SEC;
 use swarm_workload::WorkloadSpec;
 
@@ -28,7 +28,7 @@ fn main() {
         "system", "CPU%", "cache_MiB", "IO_Gbps", "mem_GiB"
     );
     let mut rows = Vec::new();
-    for sys in System::all() {
+    for sys in Protocol::all() {
         let p = p0.clone();
         let (stats, _, bed) = run_system(p.seed, sys, &p, WorkloadSpec::B, |rc| {
             rc.pace_ns = Some(pace_ns);
@@ -48,31 +48,17 @@ fn main() {
             (rate_per_client * (avg_lat + 1_000.0) / NANOS_PER_SEC as f64 * 100.0).min(100.0);
 
         // Cache: entries * modeled entry bytes, for the 1M-key keyspace.
-        let entry_bytes = if sys == System::Swarm { 32 } else { 24 };
+        let entry_bytes = if sys == Protocol::SafeGuess { 32 } else { 24 };
         let cache_mib = n_keys_model as f64 * entry_bytes as f64 / (1 << 20) as f64;
 
         // IO: fabric bytes + index bytes over the measured window, scaled to
-        // the full 800 kops rate.
-        let (fabric_bytes, index_bytes) = match &bed {
-            Testbed::Cluster { cluster, .. } => {
-                (cluster.fabric().stats().bytes, cluster.index().traffic().1)
-            }
-            Testbed::Fusee { cluster, .. } => {
-                let idx_ops = cluster.fabric().stats(); // index modeled separately
-                (idx_ops.bytes, 0)
-            }
-        };
-        let io_gbps = (fabric_bytes + index_bytes) as f64 * 8.0 / dur_ns as f64;
+        // the full 800 kops rate. (FUSEE's model folds index cost into its
+        // own roundtrips, so its index_bytes is 0.)
+        let fabric_bytes = bed.cluster.fabric().stats().bytes;
+        let io_gbps = (fabric_bytes + bed.cluster.index_bytes()) as f64 * 8.0 / dur_ns as f64;
 
         // Disaggregated memory: modeled per-key footprint x 1M keys.
-        let per_key = match (&bed, sys) {
-            (_, System::Raw) => (p.value_size + 24) as u64,
-            (Testbed::Fusee { cluster, .. }, _) => cluster.modeled_bytes_per_key(),
-            (Testbed::Cluster { cluster, .. }, System::Swarm) => {
-                cluster.modeled_bytes_per_key(true)
-            }
-            (Testbed::Cluster { cluster, .. }, _) => cluster.modeled_bytes_per_key(false),
-        };
+        let per_key = bed.cluster.modeled_bytes_per_key();
         let mem_gib = per_key as f64 * n_keys_model as f64 / (1u64 << 30) as f64;
 
         println!(

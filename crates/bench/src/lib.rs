@@ -16,52 +16,26 @@
 //! | `fig12` | extreme contention on a single key |
 //! | `fig13` | number of In-n-Out metadata buffers |
 //!
+//! Beyond the paper, `bench_multiget` measures the batch-size-vs-latency
+//! scaling of the pipelined `KvStoreExt` multi-ops.
+//!
 //! Binaries accept `--full` for paper-scale op counts (default is a quick
 //! mode sized to finish in seconds each) and print the same rows/series the
 //! paper reports, plus CSVs under `target/experiments/`.
+//!
+//! Every system under test is built through [`swarm_kv::StoreBuilder`], so
+//! the four protocols share one construction and measurement path.
 
 use std::io::Write as _;
 use std::rc::Rc;
 
-use swarm_kv::KvStore;
 use swarm_kv::{
-    Cluster, ClusterConfig, FuseeCluster, FuseeKv, KvClient, KvClientConfig, Proto, RunConfig,
-    RunStats,
+    CacheCapacity, KvStore, RunConfig, RunStats, StoreBuilder, StoreClient, StoreCluster,
 };
 use swarm_sim::{Histogram, Sim};
 use swarm_workload::{OpType, Workload, WorkloadSpec};
 
-pub use swarm_kv::run_workload;
-
-/// The four systems of the evaluation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum System {
-    /// Unreplicated lower bound.
-    Raw,
-    /// SWARM-KV (Safe-Guess + In-n-Out).
-    Swarm,
-    /// ABD with out-of-place updates.
-    DmAbd,
-    /// FUSEE-like synchronous replication.
-    Fusee,
-}
-
-impl System {
-    /// Display name matching the paper.
-    pub fn name(&self) -> &'static str {
-        match self {
-            System::Raw => "RAW",
-            System::Swarm => "SWARM-KV",
-            System::DmAbd => "DM-ABD",
-            System::Fusee => "FUSEE",
-        }
-    }
-
-    /// All four systems.
-    pub fn all() -> [System; 4] {
-        [System::Raw, System::Swarm, System::DmAbd, System::Fusee]
-    }
-}
+pub use swarm_kv::{run_workload, Protocol};
 
 /// Common experiment parameters (defaults follow §7: 3 replicas, 100 K keys,
 /// 64 B values, 4 clients, warm-up then measurement).
@@ -120,28 +94,20 @@ impl ExpParams {
         self
     }
 
-    fn cluster_config(&self, sys: System) -> ClusterConfig {
-        let base = ClusterConfig {
-            replicas: self.replicas,
-            value_size: self.value_size,
-            max_clients: self.clients.max(1),
-            meta_bufs: self.meta_bufs.unwrap_or(self.clients.max(1)),
-            inplace: self.inplace,
-            ..Default::default()
-        };
-        match sys {
-            System::Raw => ClusterConfig {
-                replicas: 1,
-                meta_bufs: 1,
-                ..base
-            },
-            System::DmAbd => ClusterConfig {
-                inplace: false,
-                meta_bufs: 1,
-                ..base
-            },
-            _ => base,
-        }
+    /// The [`StoreBuilder`] for this experiment and system (protocol
+    /// invariants — RAW unreplicated, DM-ABD out-of-place — are pinned by
+    /// the builder itself).
+    pub fn builder(&self, sys: Protocol) -> StoreBuilder {
+        StoreBuilder::new(sys)
+            .value_size(self.value_size)
+            .replicas(self.replicas)
+            .max_clients(self.clients.max(1))
+            .meta_bufs(self.meta_bufs.unwrap_or(self.clients.max(1)))
+            .inplace(self.inplace)
+            .cache(match self.cache_entries {
+                Some(n) => CacheCapacity::Entries(n),
+                None => CacheCapacity::Unbounded,
+            })
     }
 
     /// The YCSB workload object for this experiment (keyspace shrunk under
@@ -161,78 +127,36 @@ impl ExpParams {
     }
 }
 
-/// A fully built system under test.
-pub enum Testbed {
-    /// RAW / SWARM-KV / DM-ABD share the [`Cluster`] substrate.
-    Cluster {
-        /// The cluster.
-        cluster: Cluster,
-        /// One client handle per client thread.
-        clients: Vec<Rc<KvClient>>,
-    },
-    /// FUSEE has its own substrate.
-    Fusee {
-        /// The cluster.
-        cluster: FuseeCluster,
-        /// One client handle per client thread.
-        clients: Vec<Rc<FuseeKv>>,
-    },
+/// A fully built system under test: the cluster plus one client handle per
+/// client thread, all four protocols behind the same types.
+pub struct Testbed {
+    /// The cluster-side state.
+    pub cluster: StoreCluster,
+    /// One client handle per client thread.
+    pub clients: Vec<Rc<StoreClient>>,
 }
 
 /// The keyspace size after applying `SWARM_BENCH_OPS_SCALE` (the smoke-test
-/// knob, see `swarm_kv::RunConfig`): bulk loading dominates wall time in
+/// knob, see `swarm_kv::ops_scale`): bulk loading dominates wall time in
 /// unoptimized builds, and key-distribution properties do not matter for a
 /// smoke run. Used by both [`build`] and [`ExpParams::workload`] so loaded
 /// and sampled keyspaces always agree.
-fn env_scaled_keys(n_keys: u64) -> u64 {
-    match std::env::var("SWARM_BENCH_OPS_SCALE")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-    {
+pub fn env_scaled_keys(n_keys: u64) -> u64 {
+    match swarm_kv::ops_scale() {
         Some(scale) => ((n_keys as f64 * scale) as u64).clamp(64.min(n_keys), n_keys),
         None => n_keys,
     }
 }
 
 /// Builds (and bulk-loads) one system under test.
-pub fn build(sim: &Sim, sys: System, p: &ExpParams) -> Testbed {
+pub fn build(sim: &Sim, sys: Protocol, p: &ExpParams) -> Testbed {
     let n_keys = env_scaled_keys(p.n_keys);
     let wl = p.workload(WorkloadSpec::C);
-    match sys {
-        System::Fusee => {
-            let cluster = FuseeCluster::new(
-                sim,
-                swarm_kv::FuseeConfig {
-                    value_size: p.value_size,
-                    ..Default::default()
-                },
-            );
-            cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
-            let cache = p.cache_entries.unwrap_or(usize::MAX / 2);
-            let clients: Vec<Rc<FuseeKv>> = (0..p.clients)
-                .map(|i| FuseeKv::new(&cluster, i, cache))
-                .collect();
-            apply_hyperthreading(p.clients, clients.iter().map(|c| c.endpoint()));
-            Testbed::Fusee { cluster, clients }
-        }
-        _ => {
-            let proto = match sys {
-                System::Raw => Proto::Raw,
-                System::DmAbd => Proto::Abd,
-                _ => Proto::SafeGuess,
-            };
-            let cluster = Cluster::new(sim, p.cluster_config(sys));
-            cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
-            let cfg = KvClientConfig {
-                cache_entries: p.cache_entries.unwrap_or(usize::MAX / 2),
-            };
-            let clients: Vec<Rc<KvClient>> = (0..p.clients)
-                .map(|i| KvClient::new(&cluster, proto, i, cfg.clone()))
-                .collect();
-            apply_hyperthreading(p.clients, clients.iter().map(|c| c.endpoint()));
-            Testbed::Cluster { cluster, clients }
-        }
-    }
+    let cluster = p.builder(sys).build_cluster(sim);
+    cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
+    let clients = cluster.clients(p.clients);
+    apply_hyperthreading(p.clients, clients.iter().map(|c| c.endpoint()));
+    Testbed { cluster, clients }
 }
 
 /// The testbed has 32 physical client cores (Table 1: 4 servers with
@@ -250,7 +174,7 @@ fn apply_hyperthreading(n: usize, endpoints: impl Iterator<Item = Rc<swarm_fabri
 /// testbed for resource inspection).
 pub fn run_system(
     seed: u64,
-    sys: System,
+    sys: Protocol,
     p: &ExpParams,
     spec: WorkloadSpec,
     tweak: impl FnOnce(&mut RunConfig),
@@ -260,10 +184,7 @@ pub fn run_system(
     let mut rc = p.run_config();
     tweak(&mut rc);
     let wl = p.workload(spec);
-    let stats = match &bed {
-        Testbed::Cluster { clients, .. } => run_workload(&sim, clients, &wl, &rc),
-        Testbed::Fusee { clients, .. } => run_workload(&sim, clients, &wl, &rc),
-    };
+    let stats = run_workload(&sim, &bed.clients, &wl, &rc);
     (stats, sim, bed)
 }
 

@@ -19,6 +19,7 @@ fn binaries() -> Vec<(&'static str, &'static str)> {
         ("fig11", env!("CARGO_BIN_EXE_fig11")),
         ("fig12", env!("CARGO_BIN_EXE_fig12")),
         ("fig13", env!("CARGO_BIN_EXE_fig13")),
+        ("bench_multiget", env!("CARGO_BIN_EXE_bench_multiget")),
     ]
 }
 

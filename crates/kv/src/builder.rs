@@ -1,0 +1,459 @@
+//! Unified construction of all four evaluated stores.
+//!
+//! [`StoreBuilder`] is the one entry point for standing up a store:
+//! pick a [`Protocol`], tweak cluster/client knobs fluently, then
+//! [`StoreBuilder::build_cluster`] and hand out per-thread clients with
+//! [`StoreCluster::client`]. SWARM-KV, DM-ABD and RAW share the [`Cluster`]
+//! substrate; FUSEE brings its own — the builder hides the difference behind
+//! [`StoreClient`], which implements the typed [`KvStore`] trait for all
+//! four.
+
+use std::rc::Rc;
+
+use swarm_fabric::{Endpoint, Fabric, NodeId};
+use swarm_sim::Sim;
+
+use crate::client::{KvClient, KvClientConfig, Proto};
+use crate::cluster::{Cluster, ClusterConfig};
+use crate::fusee::{FuseeCluster, FuseeConfig, FuseeKv};
+use crate::membership::Membership;
+use crate::store::{KvResult, KvStore};
+use crate::CacheCapacity;
+
+/// The four systems of the paper's evaluation (§7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    /// RAW: unreplicated direct reads/writes — the latency lower bound.
+    Raw,
+    /// SWARM-KV: Safe-Guess + In-n-Out, single-roundtrip replication.
+    SafeGuess,
+    /// DM-ABD: classic ABD over the same substrate.
+    Abd,
+    /// FUSEE (FAST '23): synchronously replicated baseline.
+    Fusee,
+}
+
+impl Protocol {
+    /// All four systems, in the order the paper's tables list them.
+    pub fn all() -> [Protocol; 4] {
+        [
+            Protocol::Raw,
+            Protocol::SafeGuess,
+            Protocol::Abd,
+            Protocol::Fusee,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Protocol::Raw => "RAW",
+            Protocol::SafeGuess => "SWARM-KV",
+            Protocol::Abd => "DM-ABD",
+            Protocol::Fusee => "FUSEE",
+        }
+    }
+
+    /// The [`KvClient`] protocol selector, for the three [`Cluster`]-based
+    /// systems.
+    fn proto(&self) -> Option<Proto> {
+        match self {
+            Protocol::Raw => Some(Proto::Raw),
+            Protocol::SafeGuess => Some(Proto::SafeGuess),
+            Protocol::Abd => Some(Proto::Abd),
+            Protocol::Fusee => None,
+        }
+    }
+}
+
+/// Fluent construction of any of the four stores: protocol × cluster config
+/// × client config.
+///
+/// Protocol invariants are pinned at build time, so a builder sweep over
+/// [`Protocol::all`] with shared knobs yields exactly the paper's setups:
+/// RAW is always unreplicated with one metadata word, and DM-ABD always
+/// runs without in-place data on a single shared metadata word (§7's
+/// configurations).
+///
+/// ```
+/// use swarm_kv::{KvStore, Protocol, StoreBuilder};
+/// use swarm_sim::Sim;
+///
+/// let sim = Sim::new(1);
+/// let cluster = StoreBuilder::new(Protocol::SafeGuess)
+///     .value_size(64)
+///     .max_clients(2)
+///     .build_cluster(&sim);
+/// cluster.load_keys(8, |k| vec![k as u8; 64]);
+/// let client = cluster.client(0);
+/// let value = sim.block_on(async move { client.get(3).await });
+/// assert_eq!(*value.unwrap().unwrap(), vec![3u8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreBuilder {
+    protocol: Protocol,
+    cluster: ClusterConfig,
+    fusee: FuseeConfig,
+    client: KvClientConfig,
+}
+
+impl StoreBuilder {
+    /// Starts a builder for `protocol` with the paper's default
+    /// configuration.
+    pub fn new(protocol: Protocol) -> Self {
+        StoreBuilder {
+            protocol,
+            cluster: ClusterConfig::default(),
+            fusee: FuseeConfig::default(),
+            client: KvClientConfig::default(),
+        }
+    }
+
+    /// The protocol this builder constructs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Fixed value size in bytes (applies to every protocol).
+    pub fn value_size(mut self, bytes: usize) -> Self {
+        self.cluster.value_size = bytes;
+        self.fusee.value_size = bytes;
+        self
+    }
+
+    /// Replicas per key for the [`Cluster`]-based protocols (FUSEE keeps its
+    /// own 2-replica synchronous scheme; see [`StoreBuilder::fusee_config`]).
+    /// Ignored by RAW, which is unreplicated by definition.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.cluster.replicas = n;
+        self
+    }
+
+    /// Maximum client count (sizes metadata arrays, lock words, slot rings).
+    pub fn max_clients(mut self, n: usize) -> Self {
+        self.cluster.max_clients = n;
+        self
+    }
+
+    /// In-n-Out metadata words per key (§4.4). Pinned to 1 for RAW and
+    /// DM-ABD at build time.
+    pub fn meta_bufs(mut self, n: usize) -> Self {
+        self.cluster.meta_bufs = n;
+        self
+    }
+
+    /// Whether VERIFIED writes lazily store in-place data (`false` = the
+    /// "Out-P." variant of Figure 9). Pinned off for DM-ABD at build time.
+    pub fn inplace(mut self, yes: bool) -> Self {
+        self.cluster.inplace = yes;
+        self
+    }
+
+    /// Caps the index at this many live mappings; inserts beyond it fail
+    /// with [`crate::KvError::IndexFull`] (applies to every protocol).
+    pub fn index_capacity(mut self, cap: usize) -> Self {
+        self.cluster.index_capacity = Some(cap);
+        self.fusee.index_capacity = Some(cap);
+        self
+    }
+
+    /// Per-client location-cache capacity (Figure 6 bounds it).
+    pub fn cache(mut self, cache: CacheCapacity) -> Self {
+        self.client.cache = cache;
+        self
+    }
+
+    /// Replaces the whole cluster configuration (the escape hatch for knobs
+    /// without a fluent setter, e.g. fabric latency or clock skew).
+    pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {
+        self.cluster = cfg;
+        self
+    }
+
+    /// Replaces the whole FUSEE model configuration.
+    pub fn fusee_config(mut self, cfg: FuseeConfig) -> Self {
+        self.fusee = cfg;
+        self
+    }
+
+    /// Replaces the whole client configuration.
+    pub fn client_config(mut self, cfg: KvClientConfig) -> Self {
+        self.client = cfg;
+        self
+    }
+
+    /// The cluster configuration with the protocol's invariants pinned.
+    fn effective_cluster_config(&self) -> ClusterConfig {
+        let mut cfg = self.cluster.clone();
+        match self.protocol {
+            Protocol::Raw => {
+                cfg.replicas = 1;
+                cfg.meta_bufs = 1;
+            }
+            Protocol::Abd => {
+                cfg.inplace = false;
+                cfg.meta_bufs = 1;
+            }
+            Protocol::SafeGuess | Protocol::Fusee => {}
+        }
+        cfg
+    }
+
+    /// Builds the cluster-side state (fabric, index, membership, key
+    /// allocator). Clients are then minted with [`StoreCluster::client`].
+    pub fn build_cluster(&self, sim: &Sim) -> StoreCluster {
+        let kind = match self.protocol {
+            Protocol::Fusee => ClusterKind::Fusee(FuseeCluster::new(sim, self.fusee.clone())),
+            _ => ClusterKind::Swarm(Cluster::new(sim, self.effective_cluster_config())),
+        };
+        StoreCluster {
+            kind,
+            protocol: self.protocol,
+            client_cfg: self.client.clone(),
+        }
+    }
+}
+
+enum ClusterKind {
+    Swarm(Cluster),
+    Fusee(FuseeCluster),
+}
+
+impl Clone for ClusterKind {
+    fn clone(&self) -> Self {
+        match self {
+            ClusterKind::Swarm(c) => ClusterKind::Swarm(c.clone()),
+            ClusterKind::Fusee(c) => ClusterKind::Fusee(c.clone()),
+        }
+    }
+}
+
+/// A built store cluster: the protocol-appropriate substrate plus the client
+/// configuration to mint [`StoreClient`]s from. Cheaply cloneable.
+#[derive(Clone)]
+pub struct StoreCluster {
+    kind: ClusterKind,
+    protocol: Protocol,
+    client_cfg: KvClientConfig,
+}
+
+impl StoreCluster {
+    /// The protocol this cluster runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Creates client `id` (one per application thread).
+    pub fn client(&self, id: usize) -> Rc<StoreClient> {
+        Rc::new(match &self.kind {
+            ClusterKind::Swarm(c) => StoreClient::Swarm(KvClient::new(
+                c,
+                self.protocol.proto().expect("swarm substrate"),
+                id,
+                self.client_cfg.clone(),
+            )),
+            ClusterKind::Fusee(c) => StoreClient::Fusee(FuseeKv::new(c, id, self.client_cfg.cache)),
+        })
+    }
+
+    /// Creates clients `0..n`.
+    pub fn clients(&self, n: usize) -> Vec<Rc<StoreClient>> {
+        (0..n).map(|i| self.client(i)).collect()
+    }
+
+    /// Bulk-loads `key = value` (control plane, the unmeasured YCSB load
+    /// phase).
+    pub fn load_key(&self, key: u64, value: &[u8]) {
+        match &self.kind {
+            ClusterKind::Swarm(c) => {
+                c.load_key(key, value);
+            }
+            ClusterKind::Fusee(c) => {
+                c.load_key(key, value);
+            }
+        }
+    }
+
+    /// Bulk-loads keys `0..n` with `make_value(key)` payloads.
+    pub fn load_keys(&self, n: u64, mut make_value: impl FnMut(u64) -> Vec<u8>) {
+        for key in 0..n {
+            self.load_key(key, &make_value(key));
+        }
+    }
+
+    /// The simulation driving this cluster.
+    pub fn sim(&self) -> &Sim {
+        match &self.kind {
+            ClusterKind::Swarm(c) => c.sim(),
+            ClusterKind::Fusee(c) => c.sim(),
+        }
+    }
+
+    /// The fabric (traffic statistics, node access).
+    pub fn fabric(&self) -> &Fabric {
+        match &self.kind {
+            ClusterKind::Swarm(c) => c.fabric(),
+            ClusterKind::Fusee(c) => c.fabric(),
+        }
+    }
+
+    /// Crashes a memory node (Figure 11).
+    pub fn crash_node(&self, node: NodeId) {
+        self.fabric().crash_node(node);
+    }
+
+    /// The lease-based membership service — only the [`Cluster`]-based
+    /// protocols have one; FUSEE recovers through its own multi-phase
+    /// ownership transfer instead.
+    pub fn membership(&self) -> Option<&Membership> {
+        match &self.kind {
+            ClusterKind::Swarm(c) => Some(c.membership()),
+            ClusterKind::Fusee(_) => None,
+        }
+    }
+
+    /// *Modeled* per-key disaggregated-memory footprint in bytes (the
+    /// Table 3 accounting, protocol-appropriate).
+    pub fn modeled_bytes_per_key(&self) -> u64 {
+        match (&self.kind, self.protocol) {
+            // Unreplicated: one value + key record.
+            (ClusterKind::Swarm(c), Protocol::Raw) => (c.config().value_size + 24) as u64,
+            // Safe-Guess carries per-writer timestamp-lock words.
+            (ClusterKind::Swarm(c), Protocol::SafeGuess) => c.modeled_bytes_per_key(true),
+            (ClusterKind::Swarm(c), _) => c.modeled_bytes_per_key(false),
+            (ClusterKind::Fusee(c), _) => c.modeled_bytes_per_key(),
+        }
+    }
+
+    /// Index traffic in bytes, where the substrate accounts it separately
+    /// from the fabric (FUSEE's model folds index cost into its roundtrip
+    /// counts instead).
+    pub fn index_bytes(&self) -> u64 {
+        match &self.kind {
+            ClusterKind::Swarm(c) => c.index().traffic().1,
+            ClusterKind::Fusee(_) => 0,
+        }
+    }
+
+    /// The underlying [`Cluster`] for RAW / SWARM-KV / DM-ABD (escape
+    /// hatch).
+    pub fn swarm(&self) -> Option<&Cluster> {
+        match &self.kind {
+            ClusterKind::Swarm(c) => Some(c),
+            ClusterKind::Fusee(_) => None,
+        }
+    }
+
+    /// The underlying [`FuseeCluster`] (escape hatch).
+    pub fn fusee(&self) -> Option<&FuseeCluster> {
+        match &self.kind {
+            ClusterKind::Swarm(_) => None,
+            ClusterKind::Fusee(c) => Some(c),
+        }
+    }
+}
+
+/// A per-thread client of any of the four stores, implementing the typed
+/// [`KvStore`] trait by delegation.
+pub enum StoreClient {
+    /// RAW / SWARM-KV / DM-ABD client.
+    Swarm(Rc<KvClient>),
+    /// FUSEE client.
+    Fusee(Rc<FuseeKv>),
+}
+
+impl StoreClient {
+    /// Location-cache `(hits, misses)`.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        match self {
+            StoreClient::Swarm(c) => c.cache_stats(),
+            StoreClient::Fusee(c) => c.cache_stats(),
+        }
+    }
+}
+
+impl KvStore for StoreClient {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+        match self {
+            StoreClient::Swarm(c) => c.get(key).await,
+            StoreClient::Fusee(c) => c.get(key).await,
+        }
+    }
+
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        match self {
+            StoreClient::Swarm(c) => c.update(key, value).await,
+            StoreClient::Fusee(c) => c.update(key, value).await,
+        }
+    }
+
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        match self {
+            StoreClient::Swarm(c) => c.insert(key, value).await,
+            StoreClient::Fusee(c) => c.insert(key, value).await,
+        }
+    }
+
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        match self {
+            StoreClient::Swarm(c) => c.delete(key).await,
+            StoreClient::Fusee(c) => c.delete(key).await,
+        }
+    }
+
+    fn rounds(&self) -> u64 {
+        match self {
+            StoreClient::Swarm(c) => c.rounds(),
+            StoreClient::Fusee(c) => c.rounds(),
+        }
+    }
+
+    fn endpoint(&self) -> Rc<Endpoint> {
+        match self {
+            StoreClient::Swarm(c) => c.endpoint(),
+            StoreClient::Fusee(c) => c.endpoint(),
+        }
+    }
+
+    fn client_id(&self) -> usize {
+        match self {
+            StoreClient::Swarm(c) => c.client_id(),
+            StoreClient::Fusee(c) => c.client_id(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_invariants_are_pinned_at_build() {
+        // Sweeping knobs over all protocols must not un-pin the paper's
+        // per-system configuration.
+        let b = StoreBuilder::new(Protocol::Raw).replicas(5).meta_bufs(8);
+        let cfg = b.effective_cluster_config();
+        assert_eq!(cfg.replicas, 1, "RAW is unreplicated");
+        assert_eq!(cfg.meta_bufs, 1);
+
+        let b = StoreBuilder::new(Protocol::Abd).inplace(true).meta_bufs(8);
+        let cfg = b.effective_cluster_config();
+        assert!(!cfg.inplace, "DM-ABD has no in-place data");
+        assert_eq!(cfg.meta_bufs, 1);
+
+        let b = StoreBuilder::new(Protocol::SafeGuess)
+            .replicas(5)
+            .meta_bufs(8);
+        let cfg = b.effective_cluster_config();
+        assert_eq!((cfg.replicas, cfg.meta_bufs), (5, 8));
+    }
+
+    #[test]
+    fn fusee_keeps_its_own_replication_factor() {
+        let b = StoreBuilder::new(Protocol::Fusee)
+            .value_size(128)
+            .replicas(7);
+        assert_eq!(b.fusee.value_size, 128, "value size crosses substrates");
+        assert_eq!(b.fusee.replicas, 2, "FUSEE replicates synchronously x2");
+    }
+}

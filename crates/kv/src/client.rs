@@ -23,7 +23,7 @@ use swarm_sim::{join2, GuessClock};
 use crate::cache::LfuCache;
 use crate::cluster::{Cluster, KeyInfo};
 use crate::index::InsertOutcome;
-use crate::store::KvStore;
+use crate::store::{KvError, KvResult, KvStore};
 
 /// Replication protocol driven by a [`KvClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,18 +36,39 @@ pub enum Proto {
     Raw,
 }
 
+/// Capacity of the client-side location cache (§5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheCapacity {
+    /// No eviction: every key location seen stays cached (the default).
+    Unbounded,
+    /// At most this many entries, with sampled-LFU eviction (Figure 6
+    /// limits it to 5 MiB worth of entries).
+    Entries(usize),
+}
+
+impl CacheCapacity {
+    /// The entry bound handed to the LFU cache.
+    pub(crate) fn entry_limit(self) -> usize {
+        match self {
+            // Large enough to never evict, small enough that arithmetic on
+            // it cannot overflow.
+            CacheCapacity::Unbounded => usize::MAX / 2,
+            CacheCapacity::Entries(n) => n,
+        }
+    }
+}
+
 /// Per-client knobs.
 #[derive(Debug, Clone)]
 pub struct KvClientConfig {
-    /// Location-cache capacity in entries (`usize::MAX` = effectively
-    /// unbounded, the default; Figure 6 limits it to 5 MiB worth).
-    pub cache_entries: usize,
+    /// Location-cache capacity.
+    pub cache: CacheCapacity,
 }
 
 impl Default for KvClientConfig {
     fn default() -> Self {
         KvClientConfig {
-            cache_entries: usize::MAX / 2,
+            cache: CacheCapacity::Unbounded,
         }
     }
 }
@@ -68,7 +89,6 @@ enum HandleKind {
 /// A cached per-key access handle (the 24–32 B location record of §5.2,
 /// including In-n-Out's cached metadata word for SWARM-KV).
 pub struct KeyHandle {
-    generation: u64,
     kind: HandleKind,
 }
 
@@ -115,7 +135,7 @@ impl KvClient {
             health,
             rounds: Rounds::new(),
             guesser,
-            cache: RefCell::new(LfuCache::new(cfg.cache_entries)),
+            cache: RefCell::new(LfuCache::new(cfg.cache.entry_limit())),
             version: Cell::new(0),
         })
     }
@@ -202,10 +222,7 @@ impl KvClient {
                 }
             }
         };
-        Rc::new(KeyHandle {
-            generation: info.generation,
-            kind,
-        })
+        Rc::new(KeyHandle { kind })
     }
 
     /// Resolves the handle for `key`: cache hit is free; a miss costs one
@@ -231,46 +248,59 @@ impl KvClient {
         self.cache.borrow_mut().remove(key);
     }
 
-    async fn write_via(&self, h: &KeyHandle, value: Vec<u8>) -> bool {
+    /// Writes through a handle. `Err(Deleted)` if a tombstone rejected the
+    /// write; `Err(Timeout)` if the unreplicated RAW node stopped answering.
+    async fn write_via(&self, h: &KeyHandle, value: Vec<u8>) -> KvResult<()> {
         match &h.kind {
             HandleKind::Raw { node, addr, .. } => {
                 self.rounds.bump();
-                self.ep.write(*node, *addr, value).await;
-                true
+                self.ep
+                    .write(*node, *addr, value)
+                    .await
+                    .ok_or(KvError::Timeout)
             }
-            HandleKind::Sg(reg) => !matches!(reg.write(value).await, WritePath::Deleted),
-            HandleKind::Abd(reg) => reg.write(value).await,
+            HandleKind::Sg(reg) => match reg.write(value).await {
+                WritePath::Deleted => Err(KvError::Deleted),
+                _ => Ok(()),
+            },
+            HandleKind::Abd(reg) => {
+                if reg.write(value).await {
+                    Ok(())
+                } else {
+                    Err(KvError::Deleted)
+                }
+            }
         }
     }
 
-    async fn read_via(&self, h: &KeyHandle) -> ReadResult {
+    async fn read_via(&self, h: &KeyHandle) -> KvResult<ReadResult> {
         match &h.kind {
             HandleKind::Raw { node, addr, len } => {
                 self.rounds.bump();
                 match self.ep.read(*node, *addr, *len).await {
-                    Some(bytes) => ReadResult::Value(Rc::new(bytes)),
-                    None => ReadResult::Missing,
+                    Some(bytes) => Ok(ReadResult::Value(Rc::new(bytes))),
+                    None => Err(KvError::Timeout),
                 }
             }
             HandleKind::Sg(reg) => {
                 let out = reg.read().await;
-                if out.value.is_tombstone() {
+                Ok(if out.value.is_tombstone() {
                     ReadResult::Deleted
                 } else if out.value.is_initial() {
                     ReadResult::Missing
                 } else {
                     ReadResult::Value(out.value.value)
-                }
+                })
             }
             HandleKind::Abd(reg) => {
                 let v = reg.read().await;
-                if v.is_tombstone() {
+                Ok(if v.is_tombstone() {
                     ReadResult::Deleted
                 } else if v.is_initial() {
                     ReadResult::Missing
                 } else {
                     ReadResult::Value(v.value)
-                }
+                })
             }
         }
     }
@@ -293,59 +323,64 @@ impl KvStore for KvClient {
     /// `get` (§5.3.4): locate replicas (cache or index), SWARM read. A
     /// tombstone through a cached handle flushes the cache and retries once
     /// through the index (the key may have been re-inserted elsewhere).
-    async fn get(&self, key: u64) -> Option<Rc<Vec<u8>>> {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
         for attempt in 0..2 {
-            let h = self.handle_for(key, attempt > 0).await?;
-            match self.read_via(&h).await {
-                ReadResult::Value(v) => return Some(v),
-                ReadResult::Missing => return None,
+            let Some(h) = self.handle_for(key, attempt > 0).await else {
+                return Ok(None);
+            };
+            match self.read_via(&h).await? {
+                ReadResult::Value(v) => return Ok(Some(v)),
+                ReadResult::Missing => return Ok(None),
                 ReadResult::Deleted => {
                     self.uncache(key);
                     if attempt > 0 {
-                        return None;
+                        return Ok(None);
                     }
                 }
             }
         }
-        None
+        Ok(None)
     }
 
     /// `update` (§5.3.3): SWARM write to the located replicas; a write
     /// rejected by a tombstone flushes the cache, cleans the index mapping
     /// and retries once.
-    async fn update(&self, key: u64, value: Vec<u8>) -> bool {
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         for attempt in 0..2 {
             let Some(h) = self.handle_for(key, attempt > 0).await else {
-                return false;
+                return Err(KvError::NotIndexed);
             };
-            let old_gen = h.generation;
-            if self.write_via(&h, value.clone()).await {
-                return true;
-            }
-            self.uncache(key);
-            if attempt > 0 {
-                // Still tombstoned through fresh state: clean up the stale
-                // mapping in the background (the deleter may have failed).
-                let index = self.cluster.index().clone();
-                let k = key;
-                let _ = old_gen;
-                self.cluster.sim().spawn(async move {
-                    index.remove(k).await;
-                });
-                return false;
+            match self.write_via(&h, value.clone()).await {
+                Ok(()) => return Ok(()),
+                Err(KvError::Deleted) => {
+                    self.uncache(key);
+                    if attempt > 0 {
+                        // Still tombstoned through fresh state: clean up the
+                        // stale mapping in the background (the deleter may
+                        // have failed).
+                        let index = self.cluster.index().clone();
+                        self.cluster.sim().spawn(async move {
+                            index.remove(key).await;
+                        });
+                        return Err(KvError::Deleted);
+                    }
+                }
+                Err(e) => return Err(e),
             }
         }
-        false
+        unreachable!("second attempt returns")
     }
 
     /// `insert` (§5.3.1): allocate fresh replicas from the client's pool and
     /// replicate the value *in parallel* with the index insertion — one
     /// roundtrip in the common case. If a live mapping exists, the insert
     /// turns into an update on the existing replicas.
-    async fn insert(&self, key: u64, value: Vec<u8>) -> bool {
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         // Fast path: known key -> plain update.
-        if self.cache.borrow_mut().get(key).is_some() && self.update(key, value.clone()).await {
-            return true;
+        if self.cache.borrow_mut().get(key).is_some()
+            && self.update(key, value.clone()).await.is_ok()
+        {
+            return Ok(());
         }
         let info = self.cluster.alloc_key(key);
         let h = self.build_handle(&info);
@@ -356,24 +391,29 @@ impl KvStore for KvClient {
         match outcome {
             InsertOutcome::Inserted => {
                 self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
-                true
+                Ok(())
             }
+            InsertOutcome::Full => Err(KvError::IndexFull),
             InsertOutcome::Exists => {
                 // Someone holds a mapping: write through it instead (our
                 // fresh buffers stay unindexed and are recycled).
                 let existing = existing.expect("Exists implies a mapping");
                 let h2 = self.build_handle(&existing);
-                if self.write_via(&h2, value.clone()).await {
-                    self.cache.borrow_mut().insert(self.cluster.sim(), key, h2);
-                    true
-                } else {
-                    // The existing mapping is tombstoned: overwrite it with
-                    // our fresh replicas (§5.3.1 "a mapping to replicas
-                    // marked for deletion is overwritten").
-                    self.rounds.bump();
-                    index.set(key, Rc::clone(&info)).await;
-                    self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
-                    true
+                match self.write_via(&h2, value.clone()).await {
+                    Ok(()) => {
+                        self.cache.borrow_mut().insert(self.cluster.sim(), key, h2);
+                        Ok(())
+                    }
+                    Err(KvError::Deleted) => {
+                        // The existing mapping is tombstoned: overwrite it
+                        // with our fresh replicas (§5.3.1 "a mapping to
+                        // replicas marked for deletion is overwritten").
+                        self.rounds.bump();
+                        index.set(key, Rc::clone(&info)).await;
+                        self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
+                        Ok(())
+                    }
+                    Err(e) => Err(e),
                 }
             }
         }
@@ -381,9 +421,9 @@ impl KvStore for KvClient {
 
     /// `delete` (§5.3.2): a SWARM write of the maximum timestamp, then an
     /// asynchronous index unmap.
-    async fn delete(&self, key: u64) -> bool {
+    async fn delete(&self, key: u64) -> KvResult<()> {
         let Some(h) = self.handle_for(key, false).await else {
-            return false;
+            return Err(KvError::NotFound);
         };
         match &h.kind {
             HandleKind::Raw { .. } => {
@@ -397,7 +437,7 @@ impl KvStore for KvClient {
         self.cluster.sim().spawn(async move {
             index.remove(key).await;
         });
-        true
+        Ok(())
     }
 
     fn rounds(&self) -> u64 {

@@ -49,6 +49,9 @@ pub struct ClusterConfig {
     pub clock_skew_ns: i64,
     /// Client clock drift in ppm.
     pub clock_drift_ppm: f64,
+    /// Maximum live index mappings (`None` = unbounded); inserts beyond it
+    /// fail with `KvError::IndexFull`.
+    pub index_capacity: Option<usize>,
 }
 
 impl Default for ClusterConfig {
@@ -65,6 +68,7 @@ impl Default for ClusterConfig {
             quorum: QuorumConfig::default(),
             clock_skew_ns: 400,
             clock_drift_ppm: 5.0,
+            index_capacity: None,
         }
     }
 }
@@ -114,8 +118,8 @@ impl Cluster {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
                 fabric,
+                index: Index::with_capacity(sim, cfg.index_capacity),
                 cfg,
-                index: Index::new(sim),
                 membership,
                 keys: RefCell::new(HashMap::new()),
                 generation: std::cell::Cell::new(0),

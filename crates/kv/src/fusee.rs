@@ -30,8 +30,9 @@ use swarm_fabric::{Endpoint, Fabric, FabricConfig, NodeId, Op};
 use swarm_sim::{join_all, Nanos, Sim, NANOS_PER_MILLI};
 
 use crate::cache::LfuCache;
+use crate::client::CacheCapacity;
 use crate::index::Index;
-use crate::store::KvStore;
+use crate::store::{KvError, KvResult, KvStore};
 
 /// FUSEE model parameters.
 #[derive(Debug, Clone)]
@@ -55,6 +56,9 @@ pub struct FuseeConfig {
     pub get_overhead_ns: Nanos,
     /// Client-side work per update (CRC + multi-WQE preparation per phase).
     pub update_overhead_ns: Nanos,
+    /// Maximum live index mappings (`None` = unbounded); inserts beyond it
+    /// fail with `KvError::IndexFull`.
+    pub index_capacity: Option<usize>,
 }
 
 impl Default for FuseeConfig {
@@ -68,6 +72,7 @@ impl Default for FuseeConfig {
             recovery_ns: 40 * NANOS_PER_MILLI,
             get_overhead_ns: 800,
             update_overhead_ns: 1_300,
+            index_capacity: None,
         }
     }
 }
@@ -111,8 +116,8 @@ impl FuseeCluster {
             inner: Rc::new(ClusterInner {
                 sim: sim.clone(),
                 fabric,
+                index: Index::with_capacity(sim, cfg.index_capacity),
                 cfg,
-                index: Index::new(sim),
                 keys: RefCell::new(HashMap::new()),
             }),
         }
@@ -237,13 +242,13 @@ pub struct FuseeKv {
 
 impl FuseeKv {
     /// Creates client `client_id` with the given location-cache capacity.
-    pub fn new(cluster: &FuseeCluster, client_id: usize, cache_entries: usize) -> Rc<Self> {
+    pub fn new(cluster: &FuseeCluster, client_id: usize, cache: CacheCapacity) -> Rc<Self> {
         Rc::new(FuseeKv {
             cluster: cluster.clone(),
             client_id,
             ep: Rc::new(cluster.fabric().endpoint()),
             rounds: Rounds::new(),
-            cache: RefCell::new(LfuCache::new(cache_entries)),
+            cache: RefCell::new(LfuCache::new(cache.entry_limit())),
             stale_gets: Cell::new(0),
             fresh_gets: Cell::new(0),
         })
@@ -254,29 +259,41 @@ impl FuseeKv {
         (self.fresh_gets.get(), self.stale_gets.get())
     }
 
+    /// Cache hit/miss statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.borrow().stats()
+    }
+
     fn block_len(&self) -> u64 {
         8 + self.cluster.config().value_size as u64
     }
 
-    async fn read_block(&self, info: &FuseeKeyInfo, version: u64) -> Option<Vec<u8>> {
+    /// Reads one replica block. `Ok(None)` if the block was recycled by a
+    /// newer update; `Err(Timeout)` if the node stopped answering.
+    async fn read_block(&self, info: &FuseeKeyInfo, version: u64) -> KvResult<Option<Vec<u8>>> {
         self.rounds.bump();
         self.read_block_quiet(info, version).await
     }
 
     /// A read whose latency overlaps another phase (the wasted optimistic
     /// read of a stale get): costs bandwidth, not a latency roundtrip.
-    async fn read_block_quiet(&self, info: &FuseeKeyInfo, version: u64) -> Option<Vec<u8>> {
+    async fn read_block_quiet(
+        &self,
+        info: &FuseeKeyInfo,
+        version: u64,
+    ) -> KvResult<Option<Vec<u8>>> {
         let slot = version % self.cluster.config().ring as u64;
         let addr = info.ring_base[0] + slot * self.block_len();
         let bytes = self
             .ep
             .read(info.replica_nodes[0], addr, self.block_len() as usize)
-            .await?;
+            .await
+            .ok_or(KvError::Timeout)?;
         let v = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
         if v == version {
-            Some(bytes[8..].to_vec())
+            Ok(Some(bytes[8..].to_vec()))
         } else {
-            None // Block was recycled by a newer update.
+            Ok(None) // Block was recycled by a newer update.
         }
     }
 
@@ -298,15 +315,14 @@ impl FuseeKv {
 }
 
 impl KvStore for FuseeKv {
-    async fn get(&self, key: u64) -> Option<Rc<Vec<u8>>> {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
         self.ep.work(self.cluster.config().get_overhead_ns).await;
         let cached = self.cache.borrow_mut().get(key).map(Rc::clone);
         match cached {
             Some(e) if e.version == e.info.version.get() => {
                 // Fresh cached pointer: 1 roundtrip.
                 self.fresh_gets.set(self.fresh_gets.get() + 1);
-                let v = self.read_block(&e.info, e.version).await?;
-                Some(Rc::new(v))
+                Ok(self.read_block(&e.info, e.version).await?.map(Rc::new))
             }
             Some(e) => {
                 // Stale pointer (§7.1): the optimistic read is wasted; the
@@ -319,7 +335,9 @@ impl KvStore for FuseeKv {
                     self.cluster.inner.index.get(key).await
                 };
                 let (_, info) = swarm_sim::join2(wasted, index_lookup).await;
-                let info = info?;
+                let Some(info) = info else {
+                    return Ok(None);
+                };
                 let version = info.version.get();
                 let v = self.read_block(&info, version).await?;
                 self.cache.borrow_mut().insert(
@@ -327,21 +345,22 @@ impl KvStore for FuseeKv {
                     key,
                     Rc::new(CacheEntry { version, info }),
                 );
-                Some(Rc::new(v))
+                Ok(v.map(Rc::new))
             }
             None => {
                 // Cache miss: index then data — 2 roundtrips.
-                let e = self.lookup(key).await?;
-                let v = self.read_block(&e.info, e.version).await?;
-                Some(Rc::new(v))
+                let Some(e) = self.lookup(key).await else {
+                    return Ok(None);
+                };
+                Ok(self.read_block(&e.info, e.version).await?.map(Rc::new))
             }
         }
     }
 
-    async fn update(&self, key: u64, value: Vec<u8>) -> bool {
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         self.ep.work(self.cluster.config().update_overhead_ns).await;
         let Some(e) = self.lookup(key).await else {
-            return false;
+            return Err(KvError::NotIndexed);
         };
         let info = &e.info;
         let cfg = self.cluster.config();
@@ -376,21 +395,18 @@ impl KvStore for FuseeKv {
         let new_ptr = (new_version << 16) | slot;
         loop {
             self.rounds.bump();
-            let prev = match self
+            let prev = self
                 .ep
                 .cas(info.ptr_primary.0, info.ptr_primary.1, expected, new_ptr)
                 .await
-            {
-                Some(p) => p,
-                None => return false,
-            };
+                .ok_or(KvError::Timeout)?;
             if prev == expected {
                 break;
             }
             if prev >= new_ptr {
                 // Lost to a concurrent newer update; FUSEE serializes via
                 // the index — our value is superseded, treat as applied.
-                return true;
+                return Ok(());
             }
             expected = prev;
         }
@@ -421,24 +437,35 @@ impl KvStore for FuseeKv {
                 info: Rc::clone(info),
             }),
         );
-        true
+        Ok(())
     }
 
-    async fn insert(&self, key: u64, value: Vec<u8>) -> bool {
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         let info = self.cluster.alloc_key(key);
         self.rounds.bump();
-        self.cluster.inner.index.set(key, Rc::clone(&info)).await;
+        // The capacity check rides the set roundtrip atomically, so
+        // concurrent inserts (e.g. a multi_insert batch) cannot race past
+        // the cap.
+        if !self
+            .cluster
+            .inner
+            .index
+            .set_within_capacity(key, Rc::clone(&info))
+            .await
+        {
+            return Err(KvError::IndexFull);
+        }
         self.update(key, value).await
     }
 
-    async fn delete(&self, key: u64) -> bool {
-        let Some(_) = self.lookup(key).await else {
-            return false;
-        };
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        if self.lookup(key).await.is_none() {
+            return Err(KvError::NotFound);
+        }
         self.rounds.bump();
         self.cluster.inner.index.remove(key).await;
         self.cache.borrow_mut().remove(key);
-        true
+        Ok(())
     }
 
     fn rounds(&self) -> u64 {
@@ -473,26 +500,28 @@ mod tests {
         (sim, cluster)
     }
 
+    const CACHE: CacheCapacity = CacheCapacity::Entries(1024);
+
     #[test]
     fn get_after_load_returns_value() {
         let (sim, cluster) = setup(1);
-        let c = FuseeKv::new(&cluster, 0, 1024);
+        let c = FuseeKv::new(&cluster, 0, CACHE);
         let v = sim.block_on(async move { c.get(3).await });
-        assert_eq!(*v.unwrap(), vec![3u8; 64]);
+        assert_eq!(*v.unwrap().unwrap(), vec![3u8; 64]);
     }
 
     #[test]
     fn update_takes_four_rounds_and_get_one_when_fresh() {
         let (sim, cluster) = setup(2);
-        let c = FuseeKv::new(&cluster, 0, 1024);
+        let c = FuseeKv::new(&cluster, 0, CACHE);
         let c2 = Rc::clone(&c);
         sim.block_on(async move {
             c2.get(1).await.unwrap(); // warm the cache (2 rtts)
             let r0 = c2.rounds();
-            assert!(c2.update(1, vec![9u8; 64]).await);
+            c2.update(1, vec![9u8; 64]).await.unwrap();
             assert_eq!(c2.rounds() - r0, 4, "update rtts");
             let r0 = c2.rounds();
-            assert_eq!(*c2.get(1).await.unwrap(), vec![9u8; 64]);
+            assert_eq!(*c2.get(1).await.unwrap().unwrap(), vec![9u8; 64]);
             assert_eq!(c2.rounds() - r0, 1, "fresh get rtts");
         });
     }
@@ -500,16 +529,74 @@ mod tests {
     #[test]
     fn stale_cached_pointer_costs_two_rounds() {
         let (sim, cluster) = setup(3);
-        let a = FuseeKv::new(&cluster, 0, 1024);
-        let b = FuseeKv::new(&cluster, 1, 1024);
+        let a = FuseeKv::new(&cluster, 0, CACHE);
+        let b = FuseeKv::new(&cluster, 1, CACHE);
         sim.block_on(async move {
             a.get(1).await.unwrap(); // A caches v1
-            assert!(b.update(1, vec![7u8; 64]).await); // B moves to v2
+            b.update(1, vec![7u8; 64]).await.unwrap(); // B moves to v2
             let r0 = a.rounds();
-            assert_eq!(*a.get(1).await.unwrap(), vec![7u8; 64]);
+            assert_eq!(*a.get(1).await.unwrap().unwrap(), vec![7u8; 64]);
             assert_eq!(a.rounds() - r0, 2, "stale get rtts");
             assert_eq!(a.get_stats().1, 1);
         });
+    }
+
+    #[test]
+    fn index_capacity_rejects_fresh_inserts() {
+        let sim = Sim::new(9);
+        let cluster = FuseeCluster::new(
+            &sim,
+            FuseeConfig {
+                index_capacity: Some(4),
+                ..Default::default()
+            },
+        );
+        cluster.load_keys(4, |k| vec![k as u8; 64]);
+        let c = FuseeKv::new(&cluster, 0, CACHE);
+        sim.block_on(async move {
+            assert_eq!(
+                c.insert(100, vec![1u8; 64]).await,
+                Err(KvError::IndexFull),
+                "fresh insert beyond capacity"
+            );
+            // Overwriting an existing key is not a fresh mapping.
+            c.insert(2, vec![2u8; 64]).await.unwrap();
+        });
+    }
+
+    #[test]
+    fn concurrent_inserts_cannot_race_past_the_capacity() {
+        use crate::store::KvStoreExt;
+
+        let sim = Sim::new(10);
+        let cluster = FuseeCluster::new(
+            &sim,
+            FuseeConfig {
+                index_capacity: Some(6),
+                ..Default::default()
+            },
+        );
+        cluster.load_keys(4, |k| vec![k as u8; 64]);
+        let c = FuseeKv::new(&cluster, 0, CACHE);
+        let index_len = {
+            let cl = cluster.clone();
+            move || cl.inner.index.len()
+        };
+        sim.block_on(async move {
+            // 4 concurrent fresh inserts with only 2 free slots: exactly 2
+            // must land; the capacity check rides the set roundtrip, so the
+            // in-flight batch cannot all pass a stale pre-check.
+            let fresh: Vec<(u64, Vec<u8>)> =
+                (100..104u64).map(|k| (k, vec![k as u8; 64])).collect();
+            let results = c.multi_insert(&fresh).await;
+            let ok = results.iter().filter(|r| r.is_ok()).count();
+            let full = results
+                .iter()
+                .filter(|r| **r == Err(KvError::IndexFull))
+                .count();
+            assert_eq!((ok, full), (2, 2), "{results:?}");
+        });
+        assert_eq!(index_len(), 6, "index must not exceed its capacity");
     }
 
     #[test]

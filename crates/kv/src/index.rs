@@ -22,11 +22,14 @@ pub enum InsertOutcome {
     /// A live mapping already exists (caller should fall back to update,
     /// §5.3.1).
     Exists,
+    /// The index is at capacity and refused the new mapping.
+    Full,
 }
 
 struct Inner<L> {
     sim: Sim,
     map: RefCell<HashMap<u64, L>>,
+    capacity: Option<usize>,
     cpu: FifoResource,
     wire: Jitter,
     service_ns: Nanos,
@@ -53,12 +56,20 @@ pub const INDEX_MSG_BYTES: u64 = 24 + 24 + 60;
 
 impl<L: Clone + 'static> Index<L> {
     /// Creates an index with the default latency model (one fabric-like
-    /// roundtrip per operation).
+    /// roundtrip per operation) and no capacity bound.
     pub fn new(sim: &Sim) -> Self {
+        Self::with_capacity(sim, None)
+    }
+
+    /// Creates an index that [`Index::try_insert`] caps at `capacity` live
+    /// mappings (`None` = unbounded). Control-plane [`Index::load`] ignores
+    /// the cap: bulk loading models a pre-provisioned keyspace.
+    pub fn with_capacity(sim: &Sim, capacity: Option<usize>) -> Self {
         Index {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
                 map: RefCell::new(HashMap::new()),
+                capacity,
                 cpu: FifoResource::new(sim),
                 wire: Jitter::fabric(640.0),
                 service_ns: 150,
@@ -66,6 +77,13 @@ impl<L: Clone + 'static> Index<L> {
                 bytes: Cell::new(0),
             }),
         }
+    }
+
+    /// True if a *new* mapping would exceed the configured capacity.
+    pub fn at_capacity(&self) -> bool {
+        self.inner
+            .capacity
+            .is_some_and(|cap| self.inner.map.borrow().len() >= cap)
     }
 
     async fn roundtrip(&self) {
@@ -93,12 +111,16 @@ impl<L: Clone + 'static> Index<L> {
 
     /// Inserts a mapping unless one exists (1 RTT). On `Exists`, the caller
     /// receives the existing mapping via [`Index::get`]'s cache-equivalent
-    /// return.
+    /// return. On `Full` the mapping count is at the configured capacity and
+    /// nothing was inserted.
     pub async fn try_insert(&self, key: u64, loc: L) -> (InsertOutcome, Option<L>) {
         self.roundtrip().await;
         let mut map = self.inner.map.borrow_mut();
         match map.get(&key) {
             Some(existing) => (InsertOutcome::Exists, Some(existing.clone())),
+            None if self.inner.capacity.is_some_and(|cap| map.len() >= cap) => {
+                (InsertOutcome::Full, None)
+            }
             None => {
                 map.insert(key, loc);
                 (InsertOutcome::Inserted, None)
@@ -110,6 +132,20 @@ impl<L: Clone + 'static> Index<L> {
     pub async fn set(&self, key: u64, loc: L) {
         self.roundtrip().await;
         self.inner.map.borrow_mut().insert(key, loc);
+    }
+
+    /// Like [`Index::set`], but refuses a *new* mapping when the index is at
+    /// capacity (1 RTT). The capacity check happens atomically with the
+    /// insertion — after the roundtrip — so concurrent inserts cannot race
+    /// past the cap. Returns whether the mapping was stored.
+    pub async fn set_within_capacity(&self, key: u64, loc: L) -> bool {
+        self.roundtrip().await;
+        let mut map = self.inner.map.borrow_mut();
+        if !map.contains_key(&key) && self.inner.capacity.is_some_and(|cap| map.len() >= cap) {
+            return false;
+        }
+        map.insert(key, loc);
+        true
     }
 
     /// Removes a mapping (1 RTT).
@@ -189,6 +225,29 @@ mod tests {
             assert_eq!(existing, Some(1));
             assert_eq!(idx.get(7).await, Some(1));
         });
+    }
+
+    #[test]
+    fn capacity_bounds_try_insert_but_not_load() {
+        let sim = Sim::new(5);
+        let idx: Index<u32> = Index::with_capacity(&sim, Some(2));
+        sim.block_on({
+            let idx = idx.clone();
+            async move {
+                assert_eq!(idx.try_insert(1, 1).await.0, InsertOutcome::Inserted);
+                assert_eq!(idx.try_insert(2, 2).await.0, InsertOutcome::Inserted);
+                assert_eq!(idx.try_insert(3, 3).await.0, InsertOutcome::Full);
+                // Existing keys are still found, not rejected.
+                assert_eq!(idx.try_insert(1, 9).await.0, InsertOutcome::Exists);
+                // Removal frees a slot.
+                idx.remove(1).await;
+                assert_eq!(idx.try_insert(3, 3).await.0, InsertOutcome::Inserted);
+            }
+        });
+        assert!(idx.at_capacity());
+        // Control-plane loading is exempt (pre-provisioned keyspace).
+        idx.load(99, 0);
+        assert_eq!(idx.len(), 3);
     }
 
     #[test]

@@ -1,5 +1,58 @@
 //! SWARM-KV (§5): a low-latency, strongly consistent, highly available
-//! disaggregated key-value store — plus the paper's three baselines.
+//! disaggregated key-value store — plus the paper's three baselines, behind
+//! one typed, batch-capable store API.
+//!
+//! # The store API
+//!
+//! * [`StoreBuilder`] constructs any of the four evaluated systems
+//!   ([`Protocol::SafeGuess`] = SWARM-KV, [`Protocol::Abd`] = DM-ABD,
+//!   [`Protocol::Raw`], [`Protocol::Fusee`]) through one fluent interface:
+//!   `build_cluster()` then `client(id)` per application thread.
+//! * [`KvStore`] is the typed operation trait: `get` returns
+//!   `Ok(Some(value))` / `Ok(None)`, mutations return `Result<(), KvError>`
+//!   where [`KvError`] distinguishes `NotFound`, `Deleted`, `IndexFull`,
+//!   `Timeout` and `NotIndexed`.
+//! * [`KvStoreExt`] (blanket-implemented) adds pipelined batches:
+//!   `multi_get` / `multi_update` / `multi_insert` issue all per-key
+//!   operations concurrently, so a batch of N independent cached keys costs
+//!   about one quorum roundtrip instead of N (§7.2's ops-in-flight path).
+//!
+//! ```
+//! use swarm_kv::{CacheCapacity, KvStore, KvStoreExt, Protocol, StoreBuilder};
+//! use swarm_sim::Sim;
+//!
+//! let sim = Sim::new(7);
+//! let cluster = StoreBuilder::new(Protocol::SafeGuess)
+//!     .value_size(64)
+//!     .max_clients(2)
+//!     .cache(CacheCapacity::Entries(1024))
+//!     .build_cluster(&sim);
+//! cluster.load_keys(8, |k| vec![k as u8; 64]);
+//! let client = cluster.client(0);
+//! sim.block_on(async move {
+//!     client.update(3, vec![9u8; 64]).await.expect("key 3 is indexed");
+//!     // One pipelined batch: ~1 quorum roundtrip for all four keys.
+//!     let values = client.multi_get(&[0, 1, 2, 3]).await;
+//!     let v3 = values[3].as_ref().unwrap().as_ref().unwrap();
+//!     assert_eq!(**v3, vec![9u8; 64]);
+//! });
+//! ```
+//!
+//! ### Migrating from the pre-builder API
+//!
+//! | old | new |
+//! |---|---|
+//! | `KvClient::new(&cluster, Proto::SafeGuess, id, cfg)` | `StoreBuilder::new(Protocol::SafeGuess).build_cluster(&sim).client(id)` |
+//! | `FuseeKv::new(&cluster, id, entries)` | `StoreBuilder::new(Protocol::Fusee).cache(CacheCapacity::Entries(entries))…` |
+//! | `get(k) -> Option<Rc<Vec<u8>>>` | `get(k) -> Result<Option<Rc<Vec<u8>>>, KvError>` |
+//! | `update/insert/delete(..) -> bool` | `update/insert/delete(..) -> Result<(), KvError>` |
+//! | `KvClientConfig { cache_entries: usize::MAX / 2 }` | `KvClientConfig { cache: CacheCapacity::Unbounded }` |
+//! | N sequential `get`s | `multi_get(&keys)` (~1 roundtrip for cached keys) |
+//!
+//! `KvClient::new` / `FuseeKv::new` remain available for tests that need a
+//! hand-built substrate; the builder is the supported front door.
+//!
+//! # Inside
 //!
 //! * [`KvClient`] with [`Proto::SafeGuess`] is **SWARM-KV**: clients access
 //!   key-value pairs replicated over memory nodes directly, with
@@ -14,9 +67,12 @@
 //!
 //! Supporting services: a reliable [`Index`] (§5.2), an approximated-LFU
 //! location [`cache`](LfuCache) (§7.1), and a lease-based [`Membership`]
-//! service standing in for uKharon (§5.4). [`runner`] drives YCSB workloads
-//! against any store and produces the statistics the paper's figures report.
+//! service standing in for uKharon (§5.4). [`runner`](run_workload) drives
+//! YCSB workloads against any store — sequentially or in pipelined batches
+//! (`RunConfig::batch`) — and produces the statistics the paper's figures
+//! report.
 
+mod builder;
 mod cache;
 mod client;
 mod cluster;
@@ -26,11 +82,12 @@ mod membership;
 mod runner;
 mod store;
 
+pub use builder::{Protocol, StoreBuilder, StoreClient, StoreCluster};
 pub use cache::LfuCache;
-pub use client::{KvClient, KvClientConfig, Proto};
+pub use client::{CacheCapacity, KvClient, KvClientConfig, Proto};
 pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
-pub use runner::{run_workload, RunConfig, RunStats};
-pub use store::KvStore;
+pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
+pub use store::{KvError, KvResult, KvStore, KvStoreExt};

@@ -5,11 +5,36 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, Ordering};
 
-use swarm_sim::{Histogram, Nanos, Sim, TimeSeries, NANOS_PER_SEC};
+use swarm_sim::{join2, Histogram, Nanos, Sim, TimeSeries, NANOS_PER_SEC};
 use swarm_workload::{OpType, Workload};
 
-use crate::store::KvStore;
+use crate::store::{KvStore, KvStoreExt};
+
+/// The volume scale requested via `SWARM_BENCH_OPS_SCALE` (a positive float,
+/// e.g. `0.01`), or `None` if the variable is unset or unparsable. An
+/// unparsable value is ignored with a one-time warning on stderr.
+pub fn ops_scale() -> Option<f64> {
+    parse_ops_scale(std::env::var("SWARM_BENCH_OPS_SCALE").ok().as_deref())
+}
+
+fn parse_ops_scale(raw: Option<&str>) -> Option<f64> {
+    let raw = raw?;
+    match raw.parse::<f64>() {
+        Ok(scale) if scale.is_finite() && scale > 0.0 => Some(scale),
+        _ => {
+            static WARNED: AtomicBool = AtomicBool::new(false);
+            if !WARNED.swap(true, Ordering::Relaxed) {
+                eprintln!(
+                    "warn: ignoring SWARM_BENCH_OPS_SCALE={raw:?}: \
+                     expected a positive float like 0.01"
+                );
+            }
+            None
+        }
+    }
+}
 
 /// Run parameters.
 #[derive(Debug, Clone)]
@@ -28,7 +53,9 @@ pub struct RunConfig {
     /// Stop issuing operations after this virtual time (Figure 11 runs for
     /// a fixed duration instead of an op count).
     pub deadline_ns: Option<Nanos>,
-    /// Record per-op roundtrip counts (only meaningful at concurrency 1).
+    /// Record per-op roundtrip counts (only meaningful at concurrency 1 and
+    /// batch 1: with several ops in flight per worker there is no per-op
+    /// roundtrip delta to attribute, and the batched worker skips it).
     pub record_rtts: bool,
     /// Open-loop pacing: issue one op per worker every this many
     /// nanoseconds (Table 3 fixes clients at 200 kops each).
@@ -36,6 +63,11 @@ pub struct RunConfig {
     /// Touch every key in `0..n` once per client before the warm-up
     /// (steady-state location caches, as after the paper's 1M-op warm-up).
     pub prewarm_keys: Option<u64>,
+    /// Operations per pipelined batch: each worker claims up to this many
+    /// ops at once and issues them through [`KvStoreExt`]'s multi-ops, so a
+    /// batch of independent keys costs ~1 quorum roundtrip. `1` (the
+    /// default) is the classic sequential per-op loop.
+    pub batch: usize,
 }
 
 impl Default for RunConfig {
@@ -50,6 +82,7 @@ impl Default for RunConfig {
             record_rtts: false,
             pace_ns: None,
             prewarm_keys: None,
+            batch: 1,
         }
     }
 }
@@ -60,10 +93,13 @@ impl RunConfig {
     /// The bench smoke test sets it so every figure binary exercises its
     /// full pipeline in a fraction of the quick-mode volume.
     fn env_scaled(&self) -> RunConfig {
-        let Some(scale) = std::env::var("SWARM_BENCH_OPS_SCALE")
-            .ok()
-            .and_then(|v| v.parse::<f64>().ok())
-        else {
+        self.scaled_by(ops_scale())
+    }
+
+    /// [`RunConfig::env_scaled`] with the scale passed explicitly
+    /// (unit-testable without touching the process environment).
+    fn scaled_by(&self, scale: Option<f64>) -> RunConfig {
+        let Some(scale) = scale else {
             return self.clone();
         };
         let scaled = |n: u64| ((n as f64 * scale) as u64).max(1);
@@ -191,10 +227,14 @@ pub fn run_workload<S: KvStore + 'static>(
             sim.spawn(async move {
                 if let Some(n) = cfg.prewarm_keys {
                     for key in 0..n {
-                        store.get(key).await;
+                        let _ = store.get(key).await;
                     }
                 }
-                run_worker(&sim2, store, &workload, &cfg, &shared).await;
+                if cfg.batch > 1 {
+                    run_worker_batched(&sim2, store, &workload, &cfg, &shared).await;
+                } else {
+                    run_worker(&sim2, store, &workload, &cfg, &shared).await;
+                }
                 shared.borrow_mut().active_workers -= 1;
             });
         }
@@ -267,10 +307,10 @@ async fn run_worker<S: KvStore>(
         let r0 = store.rounds();
         let t0 = sim.now();
         let ok = match op {
-            OpType::Get => store.get(key).await.is_some(),
-            OpType::Update => store.update(key, value).await,
-            OpType::Insert => store.insert(key, value).await,
-            OpType::Delete => store.delete(key).await,
+            OpType::Get => matches!(store.get(key).await, Ok(Some(_))),
+            OpType::Update => store.update(key, value).await.is_ok(),
+            OpType::Insert => store.insert(key, value).await.is_ok(),
+            OpType::Delete => store.delete(key).await.is_ok(),
         };
         let t1 = sim.now();
 
@@ -294,5 +334,231 @@ async fn run_worker<S: KvStore>(
                 *st.rtts.entry(op).or_default().entry(used).or_insert(0) += 1;
             }
         }
+    }
+}
+
+/// The batched worker loop (`cfg.batch > 1`): claims up to `batch` op slots
+/// at a time and issues them as one pipelined multi-op round through
+/// [`KvStoreExt`]. Per-element latency is the whole batch's latency — the
+/// price an individual op pays for riding in a batch.
+async fn run_worker_batched<S: KvStore>(
+    sim: &Sim,
+    store: Rc<S>,
+    workload: &Workload,
+    cfg: &RunConfig,
+    shared: &Rc<RefCell<Shared>>,
+) {
+    let mut next_at = sim.now();
+    loop {
+        if cfg.pace_ns.is_some() {
+            sim.sleep_until(next_at).await;
+        }
+        // Claim up to `batch` operation slots from the current phase.
+        let (count, measuring) = {
+            let mut sh = shared.borrow_mut();
+            if sh.warmup_left > 0 {
+                let n = sh.warmup_left.min(cfg.batch as u64);
+                sh.warmup_left -= n;
+                (n, false)
+            } else if sh.measure_left > 0 {
+                let n = sh.measure_left.min(cfg.batch as u64);
+                sh.measure_left -= n;
+                (n, true)
+            } else {
+                return;
+            }
+        };
+        if let Some(pace) = cfg.pace_ns {
+            // Open-loop pacing is per *op*: a batch of N ops advances the
+            // schedule by N paces, keeping the configured average rate.
+            next_at += pace * count;
+        }
+        if let Some(deadline) = cfg.deadline_ns {
+            if sim.now() >= deadline {
+                return;
+            }
+        }
+
+        // Per-op client CPU work is paid per element, batched or not.
+        store.endpoint().work(cfg.op_overhead_ns * count).await;
+
+        let mut gets = Vec::new();
+        let mut updates = Vec::new();
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for _ in 0..count {
+            let (op, key) = workload.next_op(sim.rand_u64(), sim.rand_f64());
+            let version = {
+                let mut sh = shared.borrow_mut();
+                sh.version += 1;
+                sh.version
+            };
+            match op {
+                OpType::Get => gets.push(key),
+                OpType::Update => updates.push((key, workload.value_for(key, version))),
+                OpType::Insert => inserts.push((key, workload.value_for(key, version))),
+                OpType::Delete => deletes.push(key),
+            }
+        }
+
+        let t0 = sim.now();
+        let (got, (updated, inserted)) = join2(
+            store.multi_get(&gets),
+            join2(store.multi_update(&updates), store.multi_insert(&inserts)),
+        )
+        .await;
+        // Deletes are rare in the YCSB mixes; run them after the batch.
+        let mut deleted = Vec::with_capacity(deletes.len());
+        for &key in &deletes {
+            deleted.push(store.delete(key).await.is_ok());
+        }
+        let t1 = sim.now();
+
+        if measuring {
+            let mut sh = shared.borrow_mut();
+            let st = &mut sh.stats;
+            if st.measured_ops == 0 {
+                st.start_ns = t0;
+            }
+            st.measured_ops += count;
+            st.end_ns = st.end_ns.max(t1);
+            let lat = t1 - t0;
+            let mut record = |op: OpType, n: usize, failed: usize| {
+                if n == 0 {
+                    return;
+                }
+                st.failed_ops += failed as u64;
+                let hist = st.latency.entry(op).or_default();
+                for _ in 0..n {
+                    hist.record(lat);
+                }
+                if let Some(series) = &mut st.series {
+                    for _ in 0..n {
+                        series.record(t1, lat);
+                    }
+                }
+            };
+            let failed_gets = got.iter().filter(|r| !matches!(r, Ok(Some(_)))).count();
+            record(OpType::Get, got.len(), failed_gets);
+            let failed = |rs: &[crate::KvResult<()>]| rs.iter().filter(|r| r.is_err()).count();
+            record(OpType::Update, updated.len(), failed(&updated));
+            record(OpType::Insert, inserted.len(), failed(&inserted));
+            record(
+                OpType::Delete,
+                deleted.len(),
+                deleted.iter().filter(|ok| !**ok).count(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cluster, ClusterConfig, KvClient, KvClientConfig, Proto};
+    use swarm_workload::WorkloadSpec;
+
+    #[test]
+    fn unparsable_ops_scale_is_ignored_with_warning() {
+        // The parse-failure path: the config must come back unchanged.
+        assert_eq!(parse_ops_scale(Some("banana")), None);
+        assert_eq!(parse_ops_scale(Some("")), None);
+        assert_eq!(parse_ops_scale(Some("-0.5")), None, "negative scales");
+        assert_eq!(parse_ops_scale(Some("inf")), None, "non-finite scales");
+        let cfg = RunConfig {
+            warmup_ops: 123,
+            measure_ops: 456,
+            ..Default::default()
+        };
+        let scaled = cfg.scaled_by(parse_ops_scale(Some("banana")));
+        assert_eq!(scaled.warmup_ops, 123);
+        assert_eq!(scaled.measure_ops, 456);
+    }
+
+    #[test]
+    fn valid_ops_scale_shrinks_volume_knobs() {
+        assert_eq!(parse_ops_scale(Some("0.5")), Some(0.5));
+        assert_eq!(parse_ops_scale(None), None);
+        let cfg = RunConfig {
+            warmup_ops: 100,
+            measure_ops: 1_000,
+            ..Default::default()
+        };
+        let scaled = cfg.scaled_by(Some(0.1));
+        assert_eq!(scaled.warmup_ops, 10);
+        assert_eq!(scaled.measure_ops, 100);
+    }
+
+    #[test]
+    fn batched_pacing_is_per_op_not_per_batch() {
+        // Open-loop pacing must yield the same average op rate whatever the
+        // batch size: a batch of N advances the schedule by N paces.
+        let tput = |batch: usize| {
+            let sim = Sim::new(22);
+            let cluster = Cluster::new(&sim, ClusterConfig::default());
+            cluster.load_keys(256, |k| vec![k as u8; 64]);
+            let clients: Vec<_> = (0..2)
+                .map(|i| KvClient::new(&cluster, Proto::SafeGuess, i, KvClientConfig::default()))
+                .collect();
+            run_workload(
+                &sim,
+                &clients,
+                &Workload::ycsb(WorkloadSpec::B, 256, 64),
+                &RunConfig {
+                    warmup_ops: 0,
+                    measure_ops: 2_000,
+                    pace_ns: Some(20_000), // 50 kops per worker, far above op cost
+                    batch,
+                    ..Default::default()
+                },
+            )
+            .throughput_ops()
+        };
+        let sequential = tput(1);
+        let batched = tput(4);
+        let ratio = batched / sequential;
+        assert!(
+            (0.8..1.25).contains(&ratio),
+            "batch=4 must keep the paced rate: {batched} vs {sequential} ops/s"
+        );
+    }
+
+    #[test]
+    fn batched_mode_completes_the_requested_volume() {
+        let run = |batch: usize| {
+            let sim = Sim::new(21);
+            let cluster = Cluster::new(&sim, ClusterConfig::default());
+            cluster.load_keys(256, |k| vec![k as u8; 64]);
+            let clients: Vec<_> = (0..2)
+                .map(|i| KvClient::new(&cluster, Proto::SafeGuess, i, KvClientConfig::default()))
+                .collect();
+            run_workload(
+                &sim,
+                &clients,
+                &Workload::ycsb(WorkloadSpec::B, 256, 64),
+                &RunConfig {
+                    warmup_ops: 100,
+                    measure_ops: 2_000,
+                    batch,
+                    // Small per-op CPU cost so roundtrip latency (what
+                    // batching pipelines away) dominates the comparison.
+                    op_overhead_ns: 100,
+                    ..Default::default()
+                },
+            )
+        };
+        let sequential = run(1);
+        let batched = run(8);
+        assert_eq!(batched.measured_ops, 2_000);
+        assert_eq!(batched.failed_ops, 0);
+        // Batching must raise throughput: 8 independent keys cost ~1 quorum
+        // roundtrip instead of 8 sequential ones (work-request submission
+        // still serializes on the client CPU, so the gain is below 8x).
+        assert!(
+            batched.throughput_ops() > 2.5 * sequential.throughput_ops(),
+            "batch=8 should beat sequential: {} vs {}",
+            batched.throughput_ops(),
+            sequential.throughput_ops()
+        );
     }
 }

@@ -1,28 +1,75 @@
-//! The store interface shared by SWARM-KV, DM-ABD, RAW and FUSEE.
+//! The store interface shared by SWARM-KV, DM-ABD, RAW and FUSEE: typed
+//! results ([`KvError`]) and pipelined batch operations ([`KvStoreExt`]).
 
 use std::future::Future;
 use std::rc::Rc;
 
 use swarm_fabric::Endpoint;
+use swarm_sim::{join_boxed, BoxFuture};
+
+/// Why a store operation could not be applied.
+///
+/// Absence observed by a *read* is not an error — [`KvStore::get`] returns
+/// `Ok(None)` for a key that is unindexed or deleted, since "absent" is a
+/// perfectly linearizable answer. Errors are reserved for *mutations* the
+/// store refused and for operational faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvError {
+    /// The key has no index mapping (e.g. `delete` of an absent key).
+    NotFound,
+    /// The key's replicas hold a tombstone: it was deleted and not yet
+    /// re-inserted, and §5.3.3 rejects writes through tombstones.
+    Deleted,
+    /// The index refused a new mapping because it is at capacity
+    /// (see `ClusterConfig::index_capacity`).
+    IndexFull,
+    /// A required memory node stopped answering. Only unreplicated paths
+    /// (RAW, FUSEE's fixed replica sets) surface this; the replicated
+    /// protocols widen their quorums past dead nodes instead (§7.7).
+    Timeout,
+    /// `update` addressed a key that was never inserted: updates require an
+    /// existing mapping (§5.3.3) — use `insert` for fresh keys.
+    NotIndexed,
+}
+
+impl std::fmt::Display for KvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let msg = match self {
+            KvError::NotFound => "key not found",
+            KvError::Deleted => "key is deleted (tombstone)",
+            KvError::IndexFull => "index at capacity",
+            KvError::Timeout => "memory node stopped answering",
+            KvError::NotIndexed => "key has no index mapping",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for KvError {}
+
+/// Result of a store operation.
+pub type KvResult<T> = Result<T, KvError>;
 
 /// A key-value store client, one per application thread.
 ///
 /// All methods take `&self`; handles use interior mutability so a client can
-/// drive several concurrent operations (§7.2's 1–8 ops in flight).
+/// drive several concurrent operations (§7.2's 1–8 ops in flight) — which is
+/// exactly what [`KvStoreExt`]'s batch operations exploit.
 pub trait KvStore {
-    /// Reads a key; `None` if absent or deleted.
-    fn get(&self, key: u64) -> impl Future<Output = Option<Rc<Vec<u8>>>> + '_;
+    /// Reads a key. `Ok(None)` if absent (unindexed or deleted).
+    fn get(&self, key: u64) -> impl Future<Output = KvResult<Option<Rc<Vec<u8>>>>> + '_;
 
-    /// Overwrites a key; `false` if the key is not indexed or was deleted
-    /// (§5.3.3).
-    fn update(&self, key: u64, value: Vec<u8>) -> impl Future<Output = bool> + '_;
+    /// Overwrites a key. Errors with [`KvError::NotIndexed`] if the key was
+    /// never inserted and [`KvError::Deleted`] through a tombstone (§5.3.3).
+    fn update(&self, key: u64, value: Vec<u8>) -> impl Future<Output = KvResult<()>> + '_;
 
     /// Inserts a key (turns into an update if a live mapping exists,
-    /// §5.3.1); `false` only on failure.
-    fn insert(&self, key: u64, value: Vec<u8>) -> impl Future<Output = bool> + '_;
+    /// §5.3.1). Errors with [`KvError::IndexFull`] if the index is at
+    /// capacity.
+    fn insert(&self, key: u64, value: Vec<u8>) -> impl Future<Output = KvResult<()>> + '_;
 
-    /// Deletes a key; `false` if it was not present.
-    fn delete(&self, key: u64) -> impl Future<Output = bool> + '_;
+    /// Deletes a key. Errors with [`KvError::NotFound`] if it was absent.
+    fn delete(&self, key: u64) -> impl Future<Output = KvResult<()>> + '_;
 
     /// Cumulative foreground roundtrips performed by this client (the
     /// runner differences this around sequential ops for Table 2).
@@ -34,3 +81,52 @@ pub trait KvStore {
     /// Client id (0-based).
     fn client_id(&self) -> usize;
 }
+
+/// Pipelined multi-key operations, blanket-implemented for every
+/// [`KvStore`].
+///
+/// Each batch issues all of its per-key operations concurrently through the
+/// client's intra-operation concurrency machinery (the §7.2 "1–8 ops in
+/// flight" path), so a batch of N independent cached keys costs roughly one
+/// quorum roundtrip — not N. Results come back in input order; each element
+/// succeeds or fails independently.
+pub trait KvStoreExt: KvStore {
+    /// Reads many keys in one pipelined batch.
+    fn multi_get<'a>(
+        &'a self,
+        keys: &[u64],
+    ) -> impl Future<Output = Vec<KvResult<Option<Rc<Vec<u8>>>>>> + 'a {
+        join_boxed(
+            keys.iter()
+                .map(|&k| Box::pin(self.get(k)) as BoxFuture<'a, _>)
+                .collect(),
+        )
+    }
+
+    /// Overwrites many keys in one pipelined batch. Values are cloned out
+    /// of the borrowed slice, one heap copy per element.
+    fn multi_update<'a>(
+        &'a self,
+        ops: &[(u64, Vec<u8>)],
+    ) -> impl Future<Output = Vec<KvResult<()>>> + 'a {
+        join_boxed(
+            ops.iter()
+                .map(|(k, v)| Box::pin(self.update(*k, v.clone())) as BoxFuture<'a, _>)
+                .collect(),
+        )
+    }
+
+    /// Inserts many keys in one pipelined batch.
+    fn multi_insert<'a>(
+        &'a self,
+        ops: &[(u64, Vec<u8>)],
+    ) -> impl Future<Output = Vec<KvResult<()>>> + 'a {
+        join_boxed(
+            ops.iter()
+                .map(|(k, v)| Box::pin(self.insert(*k, v.clone())) as BoxFuture<'a, _>)
+                .collect(),
+        )
+    }
+}
+
+impl<S: KvStore + ?Sized> KvStoreExt for S {}

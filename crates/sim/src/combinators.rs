@@ -80,6 +80,56 @@ where
     q.take_results().into_iter().map(|r| r.unwrap()).collect()
 }
 
+/// A boxed, pinned future with an arbitrary lifetime (the currency of
+/// [`join_boxed`]).
+pub type BoxFuture<'f, T> = Pin<Box<dyn Future<Output = T> + 'f>>;
+
+/// Awaits a batch of boxed futures concurrently, returning results in input
+/// order.
+///
+/// Unlike [`join_all`] the futures may borrow (`'f` instead of `'static`),
+/// which is what store-level batch operations need: each per-key operation
+/// borrows its client handle.
+pub fn join_boxed<'f, T: 'f>(futs: Vec<BoxFuture<'f, T>>) -> impl Future<Output = Vec<T>> + 'f {
+    JoinBoxed {
+        results: futs.iter().map(|_| None).collect(),
+        remaining: futs.len(),
+        futs: futs.into_iter().map(Some).collect(),
+    }
+}
+
+struct JoinBoxed<'f, T> {
+    futs: Vec<Option<BoxFuture<'f, T>>>,
+    results: Vec<Option<T>>,
+    remaining: usize,
+}
+
+// Like `Join2`: every field is a boxed future or a plain value, so the
+// wrapper is structurally `Unpin`.
+impl<T> Unpin for JoinBoxed<'_, T> {}
+
+impl<T> Future for JoinBoxed<'_, T> {
+    type Output = Vec<T>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Vec<T>> {
+        let this = self.get_mut();
+        for i in 0..this.futs.len() {
+            if let Some(f) = this.futs[i].as_mut() {
+                if let Poll::Ready(v) = f.as_mut().poll(cx) {
+                    this.results[i] = Some(v);
+                    this.futs[i] = None;
+                    this.remaining -= 1;
+                }
+            }
+        }
+        if this.remaining == 0 {
+            Poll::Ready(this.results.iter_mut().map(|r| r.take().unwrap()).collect())
+        } else {
+            Poll::Pending
+        }
+    }
+}
+
 /// Result of [`race2`].
 pub enum Either<A, B> {
     /// The first future finished first.
@@ -264,6 +314,36 @@ mod tests {
         ];
         let out = sim.block_on(async move { join_all(futs).await });
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn join_boxed_runs_borrowing_futures_concurrently() {
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        let (out, t) = sim.block_on(async move {
+            // Futures that borrow a local — impossible with `join_all`.
+            let delays = [300u64, 100, 200];
+            let futs: Vec<BoxFuture<'_, u64>> = delays
+                .iter()
+                .map(|&d| {
+                    let s2 = s.clone();
+                    Box::pin(async move {
+                        s2.sleep_ns(d).await;
+                        d
+                    }) as BoxFuture<'_, u64>
+                })
+                .collect();
+            (join_boxed(futs).await, s.now())
+        });
+        assert_eq!(out, vec![300, 100, 200]);
+        assert_eq!(t, 300, "futures must overlap, not serialize");
+    }
+
+    #[test]
+    fn join_boxed_empty_batch_resolves_immediately() {
+        let sim = Sim::new(2);
+        let out: Vec<u8> = sim.block_on(async move { join_boxed(Vec::new()).await });
+        assert!(out.is_empty());
     }
 
     #[test]

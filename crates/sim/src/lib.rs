@@ -41,7 +41,9 @@ mod stats;
 mod time;
 
 pub use clock::GuessClock;
-pub use combinators::{join2, join_all, race2, timeout_at, Either, Quorum, TimedOut};
+pub use combinators::{
+    join2, join_all, join_boxed, race2, timeout_at, BoxFuture, Either, Quorum, TimedOut,
+};
 pub use dist::Jitter;
 pub use executor::{Sim, Sleep, TaskId, YieldNow};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};

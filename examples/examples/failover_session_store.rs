@@ -10,16 +10,21 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use swarm_fabric::NodeId;
-use swarm_kv::{Cluster, ClusterConfig, KvClient, KvClientConfig, KvStore, Proto};
+use swarm_kv::{KvStore, Protocol, StoreBuilder};
 use swarm_sim::{Sim, NANOS_PER_MICRO, NANOS_PER_MILLI};
 
 const SESSIONS: u64 = 512;
 
 fn main() {
     let sim = Sim::new(99);
-    let cluster = Cluster::new(&sim, ClusterConfig::default());
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .value_size(64)
+        .build_cluster(&sim);
     cluster.load_keys(SESSIONS, |k| session_record(k, 0));
-    cluster.membership().watch_until(40 * NANOS_PER_MILLI);
+    cluster
+        .membership()
+        .expect("SWARM-KV has a membership service")
+        .watch_until(40 * NANOS_PER_MILLI);
 
     // Crash one of the 4 memory nodes 5 ms in.
     let c2 = cluster.clone();
@@ -31,7 +36,7 @@ fn main() {
     let failures = Rc::new(RefCell::new(0u64));
     let slow_ops = Rc::new(RefCell::new(Vec::new()));
     for cid in 0..4usize {
-        let client = KvClient::new(&cluster, Proto::SafeGuess, cid, KvClientConfig::default());
+        let client = cluster.client(cid);
         let sim2 = sim.clone();
         let failures = Rc::clone(&failures);
         let slow = Rc::clone(&slow_ops);
@@ -42,9 +47,12 @@ fn main() {
                 version += 1;
                 let t0 = sim2.now();
                 let ok = if sim2.rand_range(0, 100) < 70 {
-                    client.get(key).await.is_some()
+                    matches!(client.get(key).await, Ok(Some(_)))
                 } else {
-                    client.update(key, session_record(key, version)).await
+                    client
+                        .update(key, session_record(key, version))
+                        .await
+                        .is_ok()
                 };
                 let lat = sim2.now() - t0;
                 if !ok {

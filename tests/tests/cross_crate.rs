@@ -1,22 +1,22 @@
 //! Cross-crate integration tests: the full SWARM-KV stack (workload
 //! generator -> KV client -> Safe-Guess -> In-n-Out -> fabric) exercised
-//! end to end, including the paper's headline comparative claims.
+//! end to end through the `StoreBuilder` front door, including the paper's
+//! headline comparative claims.
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
 use swarm_core::{History, OpKind};
 use swarm_fabric::NodeId;
-use swarm_kv::{
-    run_workload, Cluster, ClusterConfig, KvClient, KvClientConfig, KvStore, Proto, RunConfig,
-};
+use swarm_kv::{run_workload, KvStore, Protocol, RunConfig, StoreBuilder, StoreCluster};
 use swarm_sim::{Sim, NANOS_PER_MILLI};
 use swarm_workload::{OpType, Workload, WorkloadSpec};
 
-fn cluster(sim: &Sim, cfg: ClusterConfig, n_keys: u64) -> Cluster {
-    let c = Cluster::new(sim, cfg);
+/// A cluster whose loaded values encode the key in the first 8 bytes.
+fn cluster(sim: &Sim, proto: Protocol, n_keys: u64) -> StoreCluster {
+    let c = StoreBuilder::new(proto).build_cluster(sim);
     c.load_keys(n_keys, |k| {
-        let mut v = vec![0u8; c.config().value_size];
+        let mut v = vec![0u8; 64];
         v[..8].copy_from_slice(&k.to_le_bytes());
         v
     });
@@ -27,10 +27,8 @@ fn cluster(sim: &Sim, cfg: ClusterConfig, n_keys: u64) -> Cluster {
 fn same_seed_reproduces_identical_results() {
     let run = || {
         let sim = Sim::new(77);
-        let c = cluster(&sim, ClusterConfig::default(), 256);
-        let clients: Vec<_> = (0..4)
-            .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
-            .collect();
+        let c = cluster(&sim, Protocol::SafeGuess, 256);
+        let clients = c.clients(4);
         let stats = run_workload(
             &sim,
             &clients,
@@ -53,21 +51,12 @@ fn same_seed_reproduces_identical_results() {
 
 #[test]
 fn headline_claims_hold_under_ycsb_a() {
-    // §7.1's ordering claims on workload A (contended mix).
-    let median = |proto: Proto, inplace: bool, meta_bufs: usize| {
+    // §7.1's ordering claims on workload A (contended mix). The builder
+    // pins DM-ABD's out-of-place single-metadata-word configuration.
+    let median = |proto: Protocol| {
         let sim = Sim::new(3);
-        let c = cluster(
-            &sim,
-            ClusterConfig {
-                inplace,
-                meta_bufs,
-                ..Default::default()
-            },
-            2_000,
-        );
-        let clients: Vec<_> = (0..4)
-            .map(|i| KvClient::new(&c, proto, i, KvClientConfig::default()))
-            .collect();
+        let c = cluster(&sim, proto, 2_000);
+        let clients = c.clients(4);
         let stats = run_workload(
             &sim,
             &clients,
@@ -83,8 +72,8 @@ fn headline_claims_hold_under_ycsb_a() {
             stats.lat(OpType::Update).median(),
         )
     };
-    let (sg_get, sg_upd) = median(Proto::SafeGuess, true, 4);
-    let (abd_get, abd_upd) = median(Proto::Abd, false, 1);
+    let (sg_get, sg_upd) = median(Protocol::SafeGuess);
+    let (abd_get, abd_upd) = median(Protocol::Abd);
     assert!(
         sg_get < abd_get && sg_upd < abd_upd,
         "SWARM-KV must beat DM-ABD: get {sg_get} vs {abd_get}, update {sg_upd} vs {abd_upd}"
@@ -97,11 +86,11 @@ fn kv_store_is_linearizable_under_concurrency_and_crash() {
     // the atomic-register spec, while a memory node dies mid-run.
     for seed in 0..8 {
         let sim = Sim::new(9_000 + seed);
-        let c = cluster(&sim, ClusterConfig::default(), 4);
+        let c = cluster(&sim, Protocol::SafeGuess, 4);
         let history = Rc::new(RefCell::new(History::new()));
         let counter = Rc::new(std::cell::Cell::new(0u64));
         for cid in 0..3usize {
-            let client = KvClient::new(&c, Proto::SafeGuess, cid, KvClientConfig::default());
+            let client = c.client(cid);
             let sim2 = sim.clone();
             let history = Rc::clone(&history);
             let counter = Rc::clone(&counter);
@@ -116,12 +105,12 @@ fn kv_store_is_linearizable_under_concurrency_and_crash() {
                         counter.set(counter.get() + 1);
                         let mut bytes = vec![0u8; 64];
                         bytes[..8].copy_from_slice(&v.to_le_bytes());
-                        assert!(client.update(2, bytes).await);
+                        client.update(2, bytes).await.unwrap();
                         history
                             .borrow_mut()
                             .push(invoke, sim2.now(), OpKind::Write(v));
                     } else {
-                        let got = client.get(2).await.expect("key 2 never deleted");
+                        let got = client.get(2).await.unwrap().expect("key 2 never deleted");
                         let v = u64::from_le_bytes(got[..8].try_into().unwrap());
                         // The loaded value encodes the key (2); map it to the
                         // checker's initial value 0.
@@ -145,11 +134,9 @@ fn kv_store_is_linearizable_under_concurrency_and_crash() {
 #[test]
 fn availability_through_crash_no_failed_ops() {
     let sim = Sim::new(5);
-    let c = cluster(&sim, ClusterConfig::default(), 1_000);
-    c.membership().watch_until(20 * NANOS_PER_MILLI);
-    let clients: Vec<_> = (0..4)
-        .map(|i| KvClient::new(&c, Proto::SafeGuess, i, KvClientConfig::default()))
-        .collect();
+    let c = cluster(&sim, Protocol::SafeGuess, 1_000);
+    c.membership().unwrap().watch_until(20 * NANOS_PER_MILLI);
+    let clients = c.clients(4);
     let c2 = c.clone();
     sim.schedule_after(2 * NANOS_PER_MILLI, move |_| c2.crash_node(NodeId(0)));
     let stats = run_workload(
@@ -175,20 +162,16 @@ fn availability_through_crash_no_failed_ops() {
 fn value_sizes_roundtrip_through_the_whole_stack() {
     for &vs in &[16usize, 256, 4096] {
         let sim = Sim::new(6);
-        let c = cluster(
-            &sim,
-            ClusterConfig {
-                value_size: vs,
-                ..Default::default()
-            },
-            8,
-        );
-        let a = KvClient::new(&c, Proto::SafeGuess, 0, KvClientConfig::default());
-        let b = KvClient::new(&c, Proto::SafeGuess, 1, KvClientConfig::default());
+        let c = StoreBuilder::new(Protocol::SafeGuess)
+            .value_size(vs)
+            .build_cluster(&sim);
+        c.load_keys(8, |_| vec![0u8; vs]);
+        let a = c.client(0);
+        let b = c.client(1);
         sim.block_on(async move {
             let payload: Vec<u8> = (0..vs).map(|i| (i * 31 % 251) as u8).collect();
-            assert!(a.update(5, payload.clone()).await);
-            assert_eq!(*b.get(5).await.unwrap(), payload, "size {vs}");
+            a.update(5, payload.clone()).await.unwrap();
+            assert_eq!(*b.get(5).await.unwrap().unwrap(), payload, "size {vs}");
         });
     }
 }
@@ -196,15 +179,15 @@ fn value_sizes_roundtrip_through_the_whole_stack() {
 #[test]
 fn deletes_are_visible_across_clients_with_stale_caches() {
     let sim = Sim::new(7);
-    let c = cluster(&sim, ClusterConfig::default(), 8);
-    let a = KvClient::new(&c, Proto::SafeGuess, 0, KvClientConfig::default());
-    let b = KvClient::new(&c, Proto::SafeGuess, 1, KvClientConfig::default());
+    let c = cluster(&sim, Protocol::SafeGuess, 8);
+    let a = c.client(0);
+    let b = c.client(1);
     sim.block_on(async move {
         // B caches the location first.
-        assert!(b.get(1).await.is_some());
+        assert!(b.get(1).await.unwrap().is_some());
         // A deletes; B's cached replicas hold the tombstone.
-        assert!(a.delete(1).await);
-        assert!(b.get(1).await.is_none(), "stale cache must see tombstone");
-        assert!(!b.update(1, vec![9u8; 64]).await);
+        a.delete(1).await.unwrap();
+        assert_eq!(b.get(1).await, Ok(None), "stale cache must see tombstone");
+        assert!(b.update(1, vec![9u8; 64]).await.is_err());
     });
 }

@@ -7,7 +7,7 @@ use swarm_core::{
     innout_hash, xxh64, History, LockMode, NodeHealth, OpKind, QuorumConfig, Rounds, Stamp, TsLock,
 };
 use swarm_fabric::{Fabric, FabricConfig, NodeId};
-use swarm_kv::LfuCache;
+use swarm_kv::{KvStore, KvStoreExt, LfuCache, Protocol, StoreBuilder};
 use swarm_sim::{Histogram, Sim};
 use swarm_workload::Zipfian;
 
@@ -112,6 +112,67 @@ proptest! {
             t += 1;
         }
         prop_assert!(h.is_linearizable());
+    }
+
+    /// Batched multi-ops are equivalent to the sequential single-key calls:
+    /// for any seed, key subset, and value tag — and with a second client
+    /// concurrently hammering a disjoint key range — `multi_update` +
+    /// `multi_get` observe exactly the values the equivalent sequential
+    /// `update`/`get` calls produce (linearizability preserved under
+    /// batching).
+    #[test]
+    fn batched_ops_match_sequential(seed in 0u64..200, mask in 1u16..=u16::MAX, tag in 0u8..200) {
+        // Keys are the set bits of `mask`: 1..=16 distinct keys.
+        let keys: Vec<u64> = (0..16).filter(|b| mask & (1 << b) != 0).collect();
+        let value = move |k: u64| vec![tag ^ k as u8; 64];
+
+        let run = |batched: bool| -> Vec<Option<Vec<u8>>> {
+            let sim = Sim::new(10_000 + seed);
+            let cluster = StoreBuilder::new(Protocol::SafeGuess).build_cluster(&sim);
+            cluster.load_keys(64, |k| vec![k as u8; 64]);
+            // Concurrent background traffic on a disjoint key range.
+            let noisy = cluster.client(1);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                for i in 0..24u64 {
+                    let k = 32 + sim2.rand_range(0, 32);
+                    noisy.update(k, vec![i as u8; 64]).await.unwrap();
+                }
+            });
+            let client = cluster.client(0);
+            let keys = keys.clone();
+            sim.block_on(async move {
+                let pairs: Vec<(u64, Vec<u8>)> =
+                    keys.iter().map(|&k| (k, value(k))).collect();
+                if batched {
+                    for r in client.multi_update(&pairs).await {
+                        r.unwrap();
+                    }
+                    client
+                        .multi_get(&keys)
+                        .await
+                        .into_iter()
+                        .map(|r| r.unwrap().map(|v| (*v).clone()))
+                        .collect()
+                } else {
+                    for (k, v) in pairs {
+                        client.update(k, v).await.unwrap();
+                    }
+                    let mut out = Vec::with_capacity(keys.len());
+                    for &k in &keys {
+                        out.push(client.get(k).await.unwrap().map(|v| (*v).clone()));
+                    }
+                    out
+                }
+            })
+        };
+
+        let batched = run(true);
+        let sequential = run(false);
+        prop_assert_eq!(&batched, &sequential);
+        for (i, got) in batched.iter().enumerate() {
+            prop_assert_eq!(got.as_deref(), Some(&value(keys[i])[..]));
+        }
     }
 
     /// Timestamp-lock true exclusion under randomized schedules: for any
