@@ -17,4 +17,12 @@ cargo build --release
 echo "== cargo test -q"
 cargo test -q
 
+# The chaos suite already ran once above with the pinned quick set; this
+# release-mode pass widens the sweep. SWARM_CHAOS_SEEDS controls seeds per
+# (protocol, fault-plan) cell — export a bigger N for deeper local hunts
+# (see TESTING.md).
+echo "== chaos suite (release, SWARM_CHAOS_SEEDS=${SWARM_CHAOS_SEEDS:-8})"
+SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
+    cargo test --release -q -p swarm-tests --test chaos
+
 echo "CI OK"

@@ -1,17 +1,293 @@
-//! Linearizability checking for register histories (Wing–Gong search).
+//! Linearizability checking for KV and register histories (Wing–Gong
+//! search with per-key compositionality).
 //!
-//! Used by the test suite to validate Safe-Guess and ABD executions recorded
-//! from the simulator against the atomic-register specification (the paper
-//! proves linearizability in Appendix C; we check it empirically on
-//! thousands of randomized schedules).
+//! Used by the test suite to validate Safe-Guess, ABD, RAW and FUSEE
+//! executions recorded from the simulator against an atomic specification
+//! (the paper proves linearizability in Appendix C; we check it empirically
+//! on thousands of randomized and fault-injected schedules).
 //!
-//! The checker performs an exhaustive search over linearization points with
-//! memoization on `(set of completed ops, register value)`. Histories from
-//! protocol tests are small (tens of operations), where this is fast.
+//! Two front doors:
+//!
+//! * [`KvHistory`] — multi-key histories of `Get`/`Insert`/`Update`/`Delete`
+//!   operations, including error returns (`NotFound`-style observations of
+//!   absence) and *ambiguous* operations whose effect is unknown because the
+//!   client timed out or crashed mid-call. Linearizability is compositional
+//!   over objects (Herlihy & Wing's locality theorem), so the checker
+//!   verifies each key's subhistory independently — the exhaustive search
+//!   stays tractable on histories of thousands of operations as long as no
+//!   single key sees more than 128.
+//! * [`History`] — the original single-register `Write`/`Read` history,
+//!   now a thin shim over [`KvHistory`] (a register is a single always-
+//!   present key).
+//!
+//! Each per-key search is exhaustive over linearization points with
+//! memoization on `(set of completed ops, key state)`.
 
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
-/// One completed operation in a concurrent history.
+/// Maximum operations the per-key search supports (the completion set is a
+/// `u128` bitmask).
+pub const MAX_OPS_PER_KEY: usize = 128;
+
+/// What one KV operation did, from the client's point of view.
+///
+/// Value payloads are abstracted to `u64` tags (the recorder derives them
+/// from stored bytes). Error returns carry information too: a mutation that
+/// failed with a `NotFound`-style error *observed absence* and is checked as
+/// such.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KvOpKind {
+    /// `get() -> Some(v)` (key must hold `v`) or `None` (key must be
+    /// absent).
+    Get(Option<u64>),
+    /// `insert(v)` succeeded. Inserts are upserts (§5.3.1: an insert over a
+    /// live mapping becomes an update), so this is legal in any state and
+    /// sets the key to `v`.
+    Insert(u64),
+    /// `update(v)` succeeded: sets the key to `v`. Checked as an upsert,
+    /// like [`KvOpKind::Insert`]: the store's update contract verifies a
+    /// mapping exists at *lookup* time, not atomically with the write, so
+    /// an update racing a §5.3.1 insert can legitimately succeed while the
+    /// insert's own value write is still in flight. Presence is only
+    /// *observed* when update fails ([`KvOpKind::FailAbsent`]).
+    Update(u64),
+    /// `delete()` succeeded: sets the key absent. Legal in any state —
+    /// SWARM's delete is a tombstone write, which succeeds even when racing
+    /// another delete (§5.3.2).
+    Delete,
+    /// A mutation failed with an absence observation (`NotFound`,
+    /// `NotIndexed`, or a tombstone rejection): requires the key absent, no
+    /// effect.
+    FailAbsent,
+    /// An operation that neither observed nor changed anything (a refused
+    /// `IndexFull` insert — capacity is global, not per-key — or a `get`
+    /// that timed out): legal at any point.
+    FailNoop,
+}
+
+/// One recorded operation in a multi-key concurrent history.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KvHistoryOp {
+    /// The key operated on.
+    pub key: u64,
+    /// Invocation (virtual) time.
+    pub invoke: u64,
+    /// Response (virtual) time, or `None` for an *ambiguous* operation: the
+    /// client timed out or crashed, so the effect may or may not have been
+    /// applied — and may still land arbitrarily late (in-flight messages,
+    /// background writes). Ambiguous ops impose no real-time ordering on
+    /// later operations and the search may apply *or discard* them.
+    pub ret: Option<u64>,
+    /// What the operation did.
+    pub kind: KvOpKind,
+}
+
+/// Why a history failed the check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NonLinearizable {
+    /// The key whose subhistory admits no linearization.
+    pub key: u64,
+    /// Number of operations on that key.
+    pub ops: usize,
+}
+
+impl std::fmt::Display for NonLinearizable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "no linearization exists for key {} ({} ops)",
+            self.key, self.ops
+        )
+    }
+}
+
+impl std::error::Error for NonLinearizable {}
+
+/// A recorded multi-key concurrent history.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct KvHistory {
+    ops: Vec<KvHistoryOp>,
+    /// Keys present before the history started (bulk-loaded), with their
+    /// value tags. Unlisted keys start absent.
+    initial: HashMap<u64, u64>,
+}
+
+impl KvHistory {
+    /// Creates an empty history with an empty initial store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares `key` present with value tag `tag` before the history
+    /// starts (the bulk-load phase).
+    pub fn set_initial(&mut self, key: u64, tag: u64) {
+        self.initial.insert(key, tag);
+    }
+
+    /// Records one completed operation.
+    pub fn push(&mut self, key: u64, invoke: u64, ret: u64, kind: KvOpKind) {
+        assert!(ret >= invoke, "response before invocation");
+        self.ops.push(KvHistoryOp {
+            key,
+            invoke,
+            ret: Some(ret),
+            kind,
+        });
+    }
+
+    /// Records an *ambiguous* operation (timed out / client crashed): its
+    /// effect may or may not have been applied, at any time after `invoke`.
+    pub fn push_ambiguous(&mut self, key: u64, invoke: u64, kind: KvOpKind) {
+        self.ops.push(KvHistoryOp {
+            key,
+            invoke,
+            ret: None,
+            kind,
+        });
+    }
+
+    /// Number of operations recorded.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The recorded operations, in recording order.
+    pub fn ops(&self) -> &[KvHistoryOp] {
+        &self.ops
+    }
+
+    /// Number of operations recorded that completed unambiguously.
+    pub fn definite_ops(&self) -> usize {
+        self.ops.iter().filter(|o| o.ret.is_some()).count()
+    }
+
+    /// Checks the history against the atomic KV specification.
+    ///
+    /// Some linearization must exist per key: a total order of the key's
+    /// operations that (a) respects real-time precedence (`a` returned
+    /// before `b` was invoked ⇒ `a` before `b`), (b) is a legal sequential
+    /// KV execution from the key's initial state, and (c) includes every
+    /// unambiguous operation, while ambiguous ones may be applied or
+    /// discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any single key has more than [`MAX_OPS_PER_KEY`]
+    /// operations.
+    pub fn check(&self) -> Result<(), NonLinearizable> {
+        let mut by_key: HashMap<u64, Vec<&KvHistoryOp>> = HashMap::new();
+        for op in &self.ops {
+            by_key.entry(op.key).or_default().push(op);
+        }
+        // Deterministic key order, so failures always name the same key.
+        let mut keys: Vec<u64> = by_key.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            let ops = &by_key[&key];
+            assert!(
+                ops.len() <= MAX_OPS_PER_KEY,
+                "key {key} has {} ops; the checker supports at most {MAX_OPS_PER_KEY} per key",
+                ops.len()
+            );
+            if !check_key(ops, self.initial.get(&key).copied()) {
+                return Err(NonLinearizable {
+                    key,
+                    ops: ops.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// [`KvHistory::check`] as a boolean.
+    pub fn is_linearizable(&self) -> bool {
+        self.check().is_ok()
+    }
+}
+
+/// Wing–Gong search over one key's subhistory. `initial` is the key's state
+/// before the history (present with a tag, or absent).
+fn check_key(ops: &[&KvHistoryOp], initial: Option<u64>) -> bool {
+    let n = ops.len();
+    if n == 0 {
+        return true;
+    }
+    // precede[i] = bitmask of ops that must linearize before op i. An
+    // ambiguous op (ret == None) precedes nothing: its effect may land
+    // arbitrarily late.
+    let mut precede = vec![0u128; n];
+    for (i, mask) in precede.iter_mut().enumerate() {
+        for (j, other) in ops.iter().enumerate() {
+            if i != j && other.ret.is_some_and(|r| r < ops[i].invoke) {
+                *mask |= 1 << j;
+            }
+        }
+    }
+    let mut visited: HashSet<(u128, Option<u64>)> = HashSet::new();
+    search(ops, 0, initial, &precede, &mut visited)
+}
+
+/// Sequential-spec transition: the state after applying `kind` to `state`,
+/// or `None` if `kind` is illegal there.
+fn apply(kind: KvOpKind, state: Option<u64>) -> Option<Option<u64>> {
+    match kind {
+        KvOpKind::Get(observed) => (observed == state).then_some(state),
+        KvOpKind::Insert(v) | KvOpKind::Update(v) => Some(Some(v)),
+        KvOpKind::Delete => Some(None),
+        KvOpKind::FailAbsent => state.is_none().then_some(None),
+        KvOpKind::FailNoop => Some(state),
+    }
+}
+
+fn search(
+    ops: &[&KvHistoryOp],
+    done: u128,
+    state: Option<u64>,
+    precede: &[u128],
+    visited: &mut HashSet<(u128, Option<u64>)>,
+) -> bool {
+    let n = ops.len();
+    if done == u128::MAX >> (128 - n) {
+        return true;
+    }
+    if !visited.insert((done, state)) {
+        return false;
+    }
+    for i in 0..n {
+        let bit = 1u128 << i;
+        if done & bit != 0 || precede[i] & !done != 0 {
+            continue; // Already taken, or a predecessor is pending.
+        }
+        if let Some(next) = apply(ops[i].kind, state) {
+            if search(ops, done | bit, next, precede, visited) {
+                return true;
+            }
+        }
+        // An ambiguous op may also be *discarded*: its effect never landed.
+        if ops[i].ret.is_none() && search(ops, done | bit, state, precede, visited) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Register operation kinds for the single-register [`History`]. Values are
+/// `u64` tags (tests write unique values; `0` is the initial register
+/// value).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// `write(v)`.
+    Write(u64),
+    /// `read() -> v`.
+    Read(u64),
+}
+
+/// One completed operation in a single-register concurrent history.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistoryOp {
     /// Invocation (virtual) time.
@@ -22,17 +298,8 @@ pub struct HistoryOp {
     pub kind: OpKind,
 }
 
-/// Register operation kinds. Values are `u64` tags (tests write unique
-/// values; `0` is the initial register value).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum OpKind {
-    /// `write(v)`.
-    Write(u64),
-    /// `read() -> v`.
-    Read(u64),
-}
-
-/// A recorded concurrent history.
+/// A recorded single-register concurrent history: a register is a KV store
+/// with one always-present key, so this delegates to [`KvHistory`].
 #[derive(Debug, Default, Clone)]
 pub struct History {
     ops: Vec<HistoryOp>,
@@ -69,57 +336,17 @@ impl History {
     /// register execution (every read returns the latest preceding write,
     /// or `0`).
     pub fn is_linearizable(&self) -> bool {
-        let n = self.ops.len();
-        if n == 0 {
-            return true;
+        let mut kv = KvHistory::new();
+        kv.set_initial(0, 0);
+        for op in &self.ops {
+            let kind = match op.kind {
+                // A register write is unconditional: the upsert.
+                OpKind::Write(v) => KvOpKind::Insert(v),
+                OpKind::Read(v) => KvOpKind::Get(Some(v)),
+            };
+            kv.push(0, op.invoke, op.ret, kind);
         }
-        assert!(n <= 64, "checker supports at most 64 operations");
-        // precede[i] = bitmask of ops that must come before op i.
-        let mut precede = vec![0u64; n];
-        for (i, mask) in precede.iter_mut().enumerate() {
-            for (j, other) in self.ops.iter().enumerate() {
-                if i != j && other.ret < self.ops[i].invoke {
-                    *mask |= 1 << j;
-                }
-            }
-        }
-        let mut visited: HashSet<(u64, u64)> = HashSet::new();
-        self.search(0, 0, &precede, &mut visited)
-    }
-
-    fn search(
-        &self,
-        done: u64,
-        value: u64,
-        precede: &[u64],
-        visited: &mut HashSet<(u64, u64)>,
-    ) -> bool {
-        let n = self.ops.len();
-        if done == (1u64 << n) - 1 {
-            return true;
-        }
-        if !visited.insert((done, value)) {
-            return false;
-        }
-        for i in 0..n {
-            let bit = 1u64 << i;
-            if done & bit != 0 || precede[i] & !done != 0 {
-                continue; // Already taken, or a predecessor is pending.
-            }
-            match self.ops[i].kind {
-                OpKind::Write(v) => {
-                    if self.search(done | bit, v, precede, visited) {
-                        return true;
-                    }
-                }
-                OpKind::Read(v) => {
-                    if v == value && self.search(done | bit, value, precede, visited) {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
+        kv.is_linearizable()
     }
 }
 
@@ -130,6 +357,7 @@ mod tests {
     #[test]
     fn empty_history_is_linearizable() {
         assert!(History::new().is_linearizable());
+        assert!(KvHistory::new().is_linearizable());
     }
 
     #[test]
@@ -208,6 +436,152 @@ mod tests {
         h.push(0, 10, OpKind::Write(1));
         h.push(0, 10, OpKind::Write(2));
         h.push(12, 13, OpKind::Read(1));
+        assert!(h.is_linearizable());
+    }
+
+    // ---- multi-key KV checker ----
+
+    #[test]
+    fn keys_compose_independently() {
+        // Interleaved ops on two keys: each key legal on its own.
+        let mut h = KvHistory::new();
+        h.push(1, 0, 1, KvOpKind::Insert(10));
+        h.push(2, 2, 3, KvOpKind::Insert(20));
+        h.push(1, 4, 5, KvOpKind::Get(Some(10)));
+        h.push(2, 6, 7, KvOpKind::Get(Some(20)));
+        assert!(h.is_linearizable());
+        // Cross-key value confusion is caught per key.
+        let mut bad = h.clone();
+        bad.push(1, 8, 9, KvOpKind::Get(Some(20)));
+        assert_eq!(bad.check(), Err(NonLinearizable { key: 1, ops: 3 }));
+    }
+
+    #[test]
+    fn absent_key_reads_none_until_inserted() {
+        let mut h = KvHistory::new();
+        h.push(5, 0, 1, KvOpKind::Get(None));
+        h.push(5, 2, 3, KvOpKind::Insert(7));
+        h.push(5, 4, 5, KvOpKind::Get(Some(7)));
+        assert!(h.is_linearizable());
+        let mut bad = KvHistory::new();
+        bad.push(5, 0, 1, KvOpKind::Insert(7));
+        bad.push(5, 2, 3, KvOpKind::Get(None)); // Must see 7.
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn initial_values_seed_the_key_state() {
+        let mut h = KvHistory::new();
+        h.set_initial(3, 99);
+        h.push(3, 0, 1, KvOpKind::Get(Some(99)));
+        assert!(h.is_linearizable());
+        let mut bad = KvHistory::new();
+        bad.set_initial(3, 99);
+        bad.push(3, 0, 1, KvOpKind::Get(None));
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn delete_makes_reads_observe_absence() {
+        let mut h = KvHistory::new();
+        h.set_initial(1, 5);
+        h.push(1, 0, 1, KvOpKind::Delete);
+        h.push(1, 2, 3, KvOpKind::Get(None));
+        h.push(1, 4, 5, KvOpKind::FailAbsent); // update after delete: NotIndexed
+        h.push(1, 6, 7, KvOpKind::Insert(8));
+        h.push(1, 8, 9, KvOpKind::Get(Some(8)));
+        assert!(h.is_linearizable());
+    }
+
+    #[test]
+    fn successful_update_is_an_upsert() {
+        // A successful update racing an in-flight insert (§5.3.1's
+        // index-insert ∥ value-write) can land on a key whose value write
+        // has not arrived yet — the real schedule the chaos suite found at
+        // seed 3299212769. The spec therefore treats update success as an
+        // upsert; only *failed* updates observe absence.
+        let mut h = KvHistory::new();
+        h.set_initial(3, 1);
+        h.push(3, 0, 1, KvOpKind::Delete);
+        h.push(3, 2, 20, KvOpKind::Insert(15)); // long in-flight insert
+        h.push(3, 5, 8, KvOpKind::Update(19)); // succeeds mid-insert
+        h.push(3, 25, 26, KvOpKind::Get(Some(15))); // insert's stamp won
+        assert!(h.is_linearizable());
+        // The value written still anchors reads: sequentially after the
+        // update, nothing but 19 (or a later write) may be observed.
+        let mut bad = KvHistory::new();
+        bad.set_initial(3, 1);
+        bad.push(3, 0, 1, KvOpKind::Update(19));
+        bad.push(3, 2, 3, KvOpKind::Get(Some(1)));
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn fail_absent_when_present_is_rejected() {
+        let mut bad = KvHistory::new();
+        bad.set_initial(9, 1);
+        bad.push(9, 0, 1, KvOpKind::FailAbsent); // NotFound on a live key
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn ambiguous_write_may_or_may_not_apply() {
+        // A timed-out update with no later evidence: fine either way.
+        let mut h = KvHistory::new();
+        h.set_initial(1, 10);
+        h.push_ambiguous(1, 0, KvOpKind::Update(11));
+        h.push(1, 5, 6, KvOpKind::Get(Some(10))); // didn't land (yet)
+        assert!(h.is_linearizable());
+        let mut h2 = KvHistory::new();
+        h2.set_initial(1, 10);
+        h2.push_ambiguous(1, 0, KvOpKind::Update(11));
+        h2.push(1, 5, 6, KvOpKind::Get(Some(11))); // landed
+        assert!(h2.is_linearizable());
+        // But it cannot flicker: landed, then un-landed.
+        let mut bad = KvHistory::new();
+        bad.set_initial(1, 10);
+        bad.push_ambiguous(1, 0, KvOpKind::Update(11));
+        bad.push(1, 5, 6, KvOpKind::Get(Some(11)));
+        bad.push(1, 7, 8, KvOpKind::Get(Some(10)));
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn ambiguous_write_may_land_arbitrarily_late() {
+        // The client gave up at t=1, but the in-flight write landed after a
+        // later read — allowed, because an ambiguous op has no response
+        // edge.
+        let mut h = KvHistory::new();
+        h.set_initial(1, 10);
+        h.push_ambiguous(1, 0, KvOpKind::Update(11));
+        h.push(1, 100, 101, KvOpKind::Get(Some(10)));
+        h.push(1, 200, 201, KvOpKind::Get(Some(11)));
+        assert!(h.is_linearizable());
+    }
+
+    #[test]
+    fn definite_ops_are_counted_and_must_all_linearize() {
+        let mut h = KvHistory::new();
+        h.push(1, 0, 1, KvOpKind::Insert(1));
+        h.push_ambiguous(1, 2, KvOpKind::Delete);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.definite_ops(), 1);
+    }
+
+    #[test]
+    fn per_key_search_handles_thousands_of_total_ops() {
+        // 4000 sequential ops spread over 100 keys: compositionality keeps
+        // every per-key search tiny.
+        let mut h = KvHistory::new();
+        let mut t = 0u64;
+        for round in 0..20u64 {
+            for key in 0..100u64 {
+                h.push(key, t, t + 1, KvOpKind::Insert(round));
+                h.push(key, t + 2, t + 3, KvOpKind::Get(Some(round)));
+                t += 4;
+            }
+        }
+        assert_eq!(h.len(), 4000);
         assert!(h.is_linearizable());
     }
 }

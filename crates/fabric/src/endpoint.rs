@@ -130,17 +130,19 @@ impl Endpoint {
             // 1. Wait for the CPU to finish posting the work requests.
             sim2.sleep_until(submit_done).await;
 
-            // 2. Uplink: serialize through the shared switch, then propagate.
+            // 2. Uplink: serialize through the shared switch, then propagate
+            // (an active delay spike on the destination stretches the wire).
             let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(req_bytes));
-            let mut arrival = ser_end + cfg.wire.sample(&sim2);
+            let mut arrival = ser_end + cfg.wire.sample(&sim2) + fabric.fault_extra_ns(node);
             // Enforce FIFO on this queue pair.
             arrival = arrival.max(qp.get() + 1);
             qp.set(arrival);
             sim2.sleep_until(arrival).await;
 
-            // 3. Node receive.
+            // 3. Node receive. A crashed node — or an injected partition /
+            // drop-window fault — swallows the request silently.
             let node_rc = fabric.node(node);
-            if !node_rc.is_alive() {
+            if !node_rc.is_alive() || fabric.fault_silences(node) {
                 fabric.inner.graveyard.borrow_mut().push(tx);
                 return;
             }
@@ -191,15 +193,17 @@ impl Endpoint {
                 sim2.sleep_until(nic_done).await;
             }
 
-            // A node that crashed while serving never answers.
-            if !node_rc.is_alive() {
+            // A node that crashed while serving never answers; neither does
+            // one that got partitioned (or whose response a drop window
+            // eats) — the request's effects above stand regardless.
+            if !node_rc.is_alive() || fabric.fault_silences(node) {
                 fabric.inner.graveyard.borrow_mut().push(tx);
                 return;
             }
 
             // 5. Downlink.
             let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(resp_bytes));
-            let back = ser_end + cfg.wire.sample(&sim2);
+            let back = ser_end + cfg.wire.sample(&sim2) + fabric.fault_extra_ns(node);
             sim2.sleep_until(back).await;
             tx.send(results);
         });

@@ -3,10 +3,11 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use swarm_sim::{FifoResource, OneshotSender, Sim};
+use swarm_sim::{FifoResource, Nanos, OneshotSender, Sim};
 
 use crate::config::FabricConfig;
 use crate::endpoint::Endpoint;
+use crate::fault::{FaultAction, FaultPlan};
 use crate::node::{Node, NodeId};
 use crate::op::OpResult;
 
@@ -20,6 +21,29 @@ pub struct TrafficStats {
     pub bytes: u64,
 }
 
+/// Per-node injected-fault state (see [`FaultPlan`]). Windows are stored as
+/// absolute virtual-time horizons so queries are O(1) cell reads on the hot
+/// path; a healthy fabric pays nothing but the branch.
+struct FaultState {
+    partitioned: Vec<bool>,
+    delay_until: Vec<Nanos>,
+    delay_extra: Vec<Nanos>,
+    drop_until: Vec<Nanos>,
+    drop_permille: Vec<u16>,
+}
+
+impl FaultState {
+    fn new(n: usize) -> Self {
+        FaultState {
+            partitioned: vec![false; n],
+            delay_until: vec![0; n],
+            delay_extra: vec![0; n],
+            drop_until: vec![0; n],
+            drop_permille: vec![0; n],
+        }
+    }
+}
+
 pub(crate) struct FabricInner {
     pub(crate) sim: Sim,
     pub(crate) cfg: FabricConfig,
@@ -31,6 +55,7 @@ pub(crate) struct FabricInner {
     pub(crate) graveyard: RefCell<Vec<OneshotSender<Vec<OpResult>>>>,
     pub(crate) endpoints: Cell<usize>,
     pub(crate) stats: Cell<TrafficStats>,
+    faults: RefCell<FaultState>,
 }
 
 /// Handle to the simulated disaggregated-memory fabric.
@@ -52,6 +77,7 @@ impl Fabric {
                 graveyard: RefCell::new(Vec::new()),
                 endpoints: Cell::new(0),
                 stats: Cell::new(TrafficStats::default()),
+                faults: RefCell::new(FaultState::new(num_nodes)),
             }),
         }
     }
@@ -88,6 +114,112 @@ impl Fabric {
     /// Crashes a node: requests arriving from now on are dropped silently.
     pub fn crash_node(&self, id: NodeId) {
         self.inner.nodes[id.0].crash();
+    }
+
+    /// Restarts a crashed node (memory contents retained, §7.7).
+    pub fn restart_node(&self, id: NodeId) {
+        self.inner.nodes[id.0].restart();
+    }
+
+    /// Cuts the switch ports to `id`: messages to/from it vanish silently
+    /// until [`Fabric::heal_node`]. The node itself stays alive, so —
+    /// unlike a crash — lease-based membership keeps considering it healthy.
+    pub fn partition_node(&self, id: NodeId) {
+        self.inner.faults.borrow_mut().partitioned[id.0] = true;
+    }
+
+    /// Reconnects a partitioned node.
+    pub fn heal_node(&self, id: NodeId) {
+        self.inner.faults.borrow_mut().partitioned[id.0] = false;
+    }
+
+    /// True while `id` is cut off by a partition.
+    pub fn is_partitioned(&self, id: NodeId) -> bool {
+        self.inner.faults.borrow().partitioned[id.0]
+    }
+
+    /// Adds `extra_ns` one-way latency on messages to/from `id` until
+    /// virtual time `until` (overwrites any previous spike on the node).
+    pub fn delay_node(&self, id: NodeId, extra_ns: Nanos, until: Nanos) {
+        let mut f = self.inner.faults.borrow_mut();
+        f.delay_extra[id.0] = extra_ns;
+        f.delay_until[id.0] = until;
+    }
+
+    /// Drops each message to/from `id` with probability `permille`/1000
+    /// until virtual time `until` (overwrites any previous window). Drops
+    /// draw from the simulation RNG, so a seed fixes which messages die.
+    pub fn drop_node(&self, id: NodeId, permille: u16, until: Nanos) {
+        assert!(permille <= 1000, "permille is out of 1000");
+        let mut f = self.inner.faults.borrow_mut();
+        f.drop_permille[id.0] = permille;
+        f.drop_until[id.0] = until;
+    }
+
+    /// Schedules every event of `plan` onto the simulation. Windowed
+    /// actions (delay spikes, drop windows) expire on their own; explicit
+    /// pairs (crash/restart, partition/heal) last until their counterpart.
+    pub fn apply_fault_plan(&self, plan: &FaultPlan) {
+        for &(at, action) in plan.events() {
+            // Fail fast at apply time: a bad plan panicking inside a
+            // scheduled closure mid-simulation would not name the culprit.
+            assert!(
+                action.node().0 < self.num_nodes(),
+                "fault plan targets {} but the fabric has {} nodes (action: {action})",
+                action.node(),
+                self.num_nodes()
+            );
+            let fabric = self.clone();
+            self.inner.sim.schedule_at(at, move |sim| {
+                let now = sim.now();
+                match action {
+                    FaultAction::Crash(n) => fabric.crash_node(n),
+                    FaultAction::Restart(n) => fabric.restart_node(n),
+                    FaultAction::Partition(n) => fabric.partition_node(n),
+                    FaultAction::Heal(n) => fabric.heal_node(n),
+                    FaultAction::DelaySpike {
+                        node,
+                        extra_ns,
+                        duration_ns,
+                    } => fabric.delay_node(node, extra_ns, now + duration_ns),
+                    FaultAction::DropWindow {
+                        node,
+                        permille,
+                        duration_ns,
+                    } => fabric.drop_node(node, permille, now + duration_ns),
+                }
+            });
+        }
+    }
+
+    /// Extra one-way latency currently injected on `node`'s links (0 when
+    /// no delay spike is active).
+    pub(crate) fn fault_extra_ns(&self, node: NodeId) -> Nanos {
+        let f = self.inner.faults.borrow();
+        if self.inner.sim.now() < f.delay_until[node.0] {
+            f.delay_extra[node.0]
+        } else {
+            0
+        }
+    }
+
+    /// Per-message silence check: true if the message must vanish because
+    /// the node is partitioned or an active drop window's coin flip says
+    /// so. Draws from the simulation RNG *only* inside an active drop
+    /// window, so healthy runs keep their RNG stream bit-identical.
+    pub(crate) fn fault_silences(&self, node: NodeId) -> bool {
+        let permille = {
+            let f = self.inner.faults.borrow();
+            if f.partitioned[node.0] {
+                return true;
+            }
+            if self.inner.sim.now() < f.drop_until[node.0] {
+                f.drop_permille[node.0]
+            } else {
+                return false;
+            }
+        };
+        self.inner.sim.rand_range(0, 1000) < permille as u64
     }
 
     /// Creates a client endpoint with its own dedicated CPU core.

@@ -18,7 +18,9 @@
 //! §7.2), wire/switch propagation with lognormal jitter, store-and-forward
 //! serialization at 100 Gbps, and node-side service. Crash injection drops
 //! requests silently (a crashed memory node never answers; clients fail over
-//! by timeout, §7.7).
+//! by timeout, §7.7). [`FaultPlan`] generalizes crash injection into seeded,
+//! virtual-time chaos schedules — restarts, switch partitions, delay spikes,
+//! probabilistic drop windows — all sharing the same silence semantics.
 //!
 //! # Examples
 //!
@@ -42,6 +44,7 @@
 mod config;
 mod endpoint;
 mod fabric;
+mod fault;
 mod mem;
 mod node;
 mod op;
@@ -49,6 +52,7 @@ mod op;
 pub use config::FabricConfig;
 pub use endpoint::Endpoint;
 pub use fabric::{Fabric, TrafficStats};
+pub use fault::{FaultAction, FaultPlan};
 pub use mem::NodeMemory;
 pub use node::{Node, NodeId};
 pub use op::{Op, OpResult};

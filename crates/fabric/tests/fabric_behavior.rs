@@ -296,3 +296,158 @@ fn one_write_latency(writers: usize, measure_concurrency: usize) -> Nanos {
     let t = *total.borrow() / *count.borrow();
     t
 }
+
+// ---- injected faults (FaultPlan) ----
+
+use swarm_fabric::{FaultAction, FaultPlan};
+
+#[test]
+fn partitioned_node_is_silent_until_healed() {
+    let (sim, fabric) = setup(20, FabricConfig::default(), 2);
+    let addr = fabric.node(NodeId(0)).alloc(8, 8);
+    fabric.node(NodeId(0)).mem().write_u64(addr, 5);
+    fabric.partition_node(NodeId(0));
+    assert!(fabric.is_partitioned(NodeId(0)));
+    assert!(
+        fabric.node(NodeId(0)).is_alive(),
+        "partition is not a crash"
+    );
+    let ep = fabric.endpoint();
+    let sim2 = sim.clone();
+    let f2 = fabric.clone();
+    sim.block_on(async move {
+        let mut q = Quorum::new(1);
+        let ep2 = Rc::new(ep);
+        let ep3 = Rc::clone(&ep2);
+        q.push(async move { ep3.read(NodeId(0), addr, 8).await });
+        let r = timeout_at(&sim2, 50 * NANOS_PER_MICRO, &mut q).await;
+        assert!(r.is_err(), "partitioned node answered");
+        f2.heal_node(NodeId(0));
+        // After healing, fresh requests get through (memory intact).
+        let got = ep2.read(NodeId(0), addr, 8).await.unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 5);
+    });
+}
+
+#[test]
+fn delay_spike_inflates_the_rtt_then_expires() {
+    let rtt = |spiked: bool| {
+        let (sim, fabric) = setup(21, FabricConfig::deterministic(), 1);
+        let addr = fabric.node(NodeId(0)).alloc(8, 8);
+        if spiked {
+            fabric.delay_node(NodeId(0), 20_000, 1_000_000);
+        }
+        let ep = fabric.endpoint();
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            let t0 = sim2.now();
+            ep.read(NodeId(0), addr, 8).await.unwrap();
+            sim2.now() - t0
+        })
+    };
+    let base = rtt(false);
+    let spiked = rtt(true);
+    assert_eq!(
+        spiked,
+        base + 2 * 20_000,
+        "a delay spike adds exactly the extra one-way latency per direction"
+    );
+    // An expired window costs nothing.
+    let (sim, fabric) = setup(21, FabricConfig::deterministic(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(8, 8);
+    fabric.delay_node(NodeId(0), 20_000, 10); // expires at t=10
+    let ep = fabric.endpoint();
+    let sim2 = sim.clone();
+    let late = sim.block_on(async move {
+        sim2.sleep_ns(1_000).await;
+        let t0 = sim2.now();
+        ep.read(NodeId(0), addr, 8).await.unwrap();
+        sim2.now() - t0
+    });
+    assert_eq!(late, base);
+}
+
+#[test]
+fn full_drop_window_swallows_messages_then_recovers() {
+    let (sim, fabric) = setup(22, FabricConfig::default(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(8, 8);
+    fabric.node(NodeId(0)).mem().write_u64(addr, 9);
+    fabric.drop_node(NodeId(0), 1000, 200_000); // drop everything till 200µs
+    let ep = Rc::new(fabric.endpoint());
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        let ep2 = Rc::clone(&ep);
+        let mut q = Quorum::new(1);
+        q.push(async move { ep2.read(NodeId(0), addr, 8).await });
+        let r = timeout_at(&sim2, 150_000, &mut q).await;
+        assert!(r.is_err(), "message survived a 1000-permille drop window");
+        sim2.sleep_until(210_000).await;
+        let got = ep.read(NodeId(0), addr, 8).await.unwrap();
+        assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 9);
+    });
+}
+
+#[test]
+fn partial_drop_window_drops_some_messages_deterministically() {
+    let survivors = |seed: u64| {
+        let (sim, fabric) = setup(seed, FabricConfig::default(), 1);
+        let addr = fabric.node(NodeId(0)).alloc(8, 8);
+        fabric.drop_node(NodeId(0), 500, 10_000_000);
+        let ok = Rc::new(RefCell::new(0u32));
+        for _ in 0..32 {
+            let ep = fabric.endpoint();
+            let ok2 = Rc::clone(&ok);
+            let sim2 = sim.clone();
+            sim.spawn(async move {
+                let mut q = Quorum::new(1);
+                q.push(async move { ep.read(NodeId(0), addr, 8).await });
+                if timeout_at(&sim2, 5_000_000, &mut q).await.is_ok() {
+                    *ok2.borrow_mut() += 1;
+                }
+            });
+        }
+        sim.run();
+        let n = *ok.borrow();
+        n
+    };
+    let a = survivors(23);
+    assert_eq!(a, survivors(23), "drop outcomes must be seed-deterministic");
+    assert!(
+        (1..32).contains(&a),
+        "a 50% window should drop some but not all: {a}/32"
+    );
+}
+
+#[test]
+fn restart_revives_a_crashed_node_with_memory_intact() {
+    let (sim, fabric) = setup(24, FabricConfig::default(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(8, 8);
+    fabric.node(NodeId(0)).mem().write_u64(addr, 77);
+    fabric.crash_node(NodeId(0));
+    fabric.restart_node(NodeId(0));
+    let ep = fabric.endpoint();
+    let got = sim.block_on(async move { ep.read(NodeId(0), addr, 8).await.unwrap() });
+    assert_eq!(u64::from_le_bytes(got.try_into().unwrap()), 77);
+}
+
+#[test]
+fn fault_plan_applies_on_schedule() {
+    let (sim, fabric) = setup(25, FabricConfig::default(), 3);
+    let plan = FaultPlan::new()
+        .crash_at(100_000, NodeId(1))
+        .restart_at(300_000, NodeId(1))
+        .partition_between(150_000, 250_000, NodeId(2))
+        .delay_spike(50_000, NodeId(0), 10_000, 100_000)
+        .drop_window(50_000, NodeId(0), 250, 100_000);
+    assert_eq!(plan.events()[0], (100_000, FaultAction::Crash(NodeId(1))));
+    fabric.apply_fault_plan(&plan);
+    sim.run_until(120_000);
+    assert!(!fabric.node(NodeId(1)).is_alive());
+    assert!(!fabric.is_partitioned(NodeId(2)));
+    sim.run_until(200_000);
+    assert!(fabric.is_partitioned(NodeId(2)));
+    sim.run_until(400_000);
+    assert!(fabric.node(NodeId(1)).is_alive(), "restart fired");
+    assert!(!fabric.is_partitioned(NodeId(2)), "heal fired");
+    println!("{plan}");
+}

@@ -163,6 +163,16 @@ impl StoreBuilder {
         self
     }
 
+    /// Per-operation deadline for every minted client: an operation that
+    /// cannot finish in time (e.g. its quorum is unreachable) returns
+    /// [`crate::KvError::Timeout`] instead of blocking forever. The chaos
+    /// harness sets this so workloads stay live under arbitrary fault
+    /// plans; the default (`None`) waits indefinitely.
+    pub fn op_deadline_ns(mut self, ns: swarm_sim::Nanos) -> Self {
+        self.client.op_deadline_ns = Some(ns);
+        self
+    }
+
     /// Replaces the whole cluster configuration (the escape hatch for knobs
     /// without a fluent setter, e.g. fabric latency or clock skew).
     pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {
@@ -252,7 +262,9 @@ impl StoreCluster {
                 id,
                 self.client_cfg.clone(),
             )),
-            ClusterKind::Fusee(c) => StoreClient::Fusee(FuseeKv::new(c, id, self.client_cfg.cache)),
+            ClusterKind::Fusee(c) => {
+                StoreClient::Fusee(FuseeKv::with_config(c, id, self.client_cfg.clone()))
+            }
         })
     }
 

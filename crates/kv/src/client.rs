@@ -18,12 +18,12 @@ use swarm_core::{
     Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock, WritePath,
 };
 use swarm_fabric::Endpoint;
-use swarm_sim::{join2, GuessClock};
+use swarm_sim::{join2, GuessClock, Nanos};
 
 use crate::cache::LfuCache;
 use crate::cluster::{Cluster, KeyInfo};
 use crate::index::InsertOutcome;
-use crate::store::{KvError, KvResult, KvStore};
+use crate::store::{with_deadline, KvError, KvResult, KvStore};
 
 /// Replication protocol driven by a [`KvClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,12 +63,22 @@ impl CacheCapacity {
 pub struct KvClientConfig {
     /// Location-cache capacity.
     pub cache: CacheCapacity,
+    /// Overall per-operation deadline. `None` (the default) lets an
+    /// operation wait indefinitely — the replicated protocols are live as
+    /// long as a majority is reachable, so under the paper's failure model
+    /// no bound is needed. With a bound, an operation that cannot finish in
+    /// time (e.g. its quorum is unreachable) returns
+    /// [`crate::KvError::Timeout`] instead of blocking forever; its effect
+    /// on the store is then *ambiguous* — in-flight messages may still
+    /// land, exactly like a client crash mid-operation (§7.7).
+    pub op_deadline_ns: Option<Nanos>,
 }
 
 impl Default for KvClientConfig {
     fn default() -> Self {
         KvClientConfig {
             cache: CacheCapacity::Unbounded,
+            op_deadline_ns: None,
         }
     }
 }
@@ -90,6 +100,10 @@ enum HandleKind {
 /// including In-n-Out's cached metadata word for SWARM-KV).
 pub struct KeyHandle {
     kind: HandleKind,
+    /// Allocation generation of the replicas behind this handle; index
+    /// cleanups are conditioned on it so a stale handle can never unmap a
+    /// re-inserted key's fresh mapping.
+    generation: u64,
 }
 
 /// One client thread of a key-value store.
@@ -103,6 +117,7 @@ pub struct KvClient {
     guesser: Rc<TsGuesser>,
     cache: RefCell<LfuCache<Rc<KeyHandle>>>,
     version: Cell<u64>,
+    op_deadline_ns: Option<Nanos>,
 }
 
 impl KvClient {
@@ -137,6 +152,7 @@ impl KvClient {
             guesser,
             cache: RefCell::new(LfuCache::new(cfg.cache.entry_limit())),
             version: Cell::new(0),
+            op_deadline_ns: cfg.op_deadline_ns,
         })
     }
 
@@ -222,7 +238,10 @@ impl KvClient {
                 }
             }
         };
-        Rc::new(KeyHandle { kind })
+        Rc::new(KeyHandle {
+            kind,
+            generation: info.generation,
+        })
     }
 
     /// Resolves the handle for `key`: cache hit is free; a miss costs one
@@ -319,11 +338,11 @@ enum ReadResult {
     Missing,
 }
 
-impl KvStore for KvClient {
+impl KvClient {
     /// `get` (§5.3.4): locate replicas (cache or index), SWARM read. A
     /// tombstone through a cached handle flushes the cache and retries once
     /// through the index (the key may have been re-inserted elsewhere).
-    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+    async fn get_inner(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
         for attempt in 0..2 {
             let Some(h) = self.handle_for(key, attempt > 0).await else {
                 return Ok(None);
@@ -345,7 +364,7 @@ impl KvStore for KvClient {
     /// `update` (§5.3.3): SWARM write to the located replicas; a write
     /// rejected by a tombstone flushes the cache, cleans the index mapping
     /// and retries once.
-    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn update_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         for attempt in 0..2 {
             let Some(h) = self.handle_for(key, attempt > 0).await else {
                 return Err(KvError::NotIndexed);
@@ -357,10 +376,14 @@ impl KvStore for KvClient {
                     if attempt > 0 {
                         // Still tombstoned through fresh state: clean up the
                         // stale mapping in the background (the deleter may
-                        // have failed).
+                        // have failed) — but only the generation we saw
+                        // tombstoned, never a re-inserter's fresh mapping.
                         let index = self.cluster.index().clone();
+                        let generation = h.generation;
                         self.cluster.sim().spawn(async move {
-                            index.remove(key).await;
+                            index
+                                .remove_if(key, |cur| cur.generation == generation)
+                                .await;
                         });
                         return Err(KvError::Deleted);
                     }
@@ -375,10 +398,10 @@ impl KvStore for KvClient {
     /// replicate the value *in parallel* with the index insertion — one
     /// roundtrip in the common case. If a live mapping exists, the insert
     /// turns into an update on the existing replicas.
-    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn insert_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         // Fast path: known key -> plain update.
         if self.cache.borrow_mut().get(key).is_some()
-            && self.update(key, value.clone()).await.is_ok()
+            && self.update_inner(key, value.clone()).await.is_ok()
         {
             return Ok(());
         }
@@ -421,10 +444,19 @@ impl KvStore for KvClient {
 
     /// `delete` (§5.3.2): a SWARM write of the maximum timestamp, then an
     /// asynchronous index unmap.
-    async fn delete(&self, key: u64) -> KvResult<()> {
-        let Some(h) = self.handle_for(key, false).await else {
+    async fn delete_inner(&self, key: u64) -> KvResult<()> {
+        // Deletes resolve through the *index*, never the location cache: a
+        // stale cached handle would tombstone a superseded replica
+        // generation while the unmap below removed the current one —
+        // leaving live, never-tombstoned replicas unreachable through the
+        // index but writable through other clients' caches (an anomaly the
+        // chaos suite caught at seed 3299909641).
+        self.rounds.bump();
+        let Some(info) = self.cluster.index().get(key).await else {
+            self.uncache(key);
             return Err(KvError::NotFound);
         };
+        let h = self.build_handle(&info);
         match &h.kind {
             HandleKind::Raw { .. } => {
                 self.rounds.bump();
@@ -433,11 +465,53 @@ impl KvStore for KvClient {
             HandleKind::Abd(reg) => reg.write_tombstone().await,
         }
         self.uncache(key);
+        // Unmap exactly the generation that was tombstoned; a concurrent
+        // re-insert's fresh mapping must survive this delete.
         let index = self.cluster.index().clone();
+        let generation = info.generation;
         self.cluster.sim().spawn(async move {
-            index.remove(key).await;
+            index
+                .remove_if(key, |cur| cur.generation == generation)
+                .await;
         });
         Ok(())
+    }
+}
+
+impl KvStore for KvClient {
+    /// `get` (§5.3.4), bounded by the configured per-op deadline.
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+        with_deadline(self.cluster.sim(), self.op_deadline_ns, self.get_inner(key)).await
+    }
+
+    /// `update` (§5.3.3), bounded by the configured per-op deadline.
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.update_inner(key, value),
+        )
+        .await
+    }
+
+    /// `insert` (§5.3.1), bounded by the configured per-op deadline.
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.insert_inner(key, value),
+        )
+        .await
+    }
+
+    /// `delete` (§5.3.2), bounded by the configured per-op deadline.
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.delete_inner(key),
+        )
+        .await
     }
 
     fn rounds(&self) -> u64 {

@@ -30,9 +30,9 @@ use swarm_fabric::{Endpoint, Fabric, FabricConfig, NodeId, Op};
 use swarm_sim::{join_all, Nanos, Sim, NANOS_PER_MILLI};
 
 use crate::cache::LfuCache;
-use crate::client::CacheCapacity;
+use crate::client::{CacheCapacity, KvClientConfig};
 use crate::index::Index;
-use crate::store::{KvError, KvResult, KvStore};
+use crate::store::{with_deadline, KvError, KvResult, KvStore};
 
 /// FUSEE model parameters.
 #[derive(Debug, Clone)]
@@ -234,6 +234,7 @@ pub struct FuseeKv {
     ep: Rc<Endpoint>,
     rounds: Rounds,
     cache: RefCell<LfuCache<Rc<CacheEntry>>>,
+    op_deadline_ns: Option<Nanos>,
     /// Gets that had to re-fetch due to a stale cached pointer.
     stale_gets: Cell<u64>,
     /// Gets served fully from the cached pointer.
@@ -243,12 +244,26 @@ pub struct FuseeKv {
 impl FuseeKv {
     /// Creates client `client_id` with the given location-cache capacity.
     pub fn new(cluster: &FuseeCluster, client_id: usize, cache: CacheCapacity) -> Rc<Self> {
+        Self::with_config(
+            cluster,
+            client_id,
+            KvClientConfig {
+                cache,
+                ..Default::default()
+            },
+        )
+    }
+
+    /// Creates client `client_id` with the full per-client configuration
+    /// (cache capacity + optional per-operation deadline).
+    pub fn with_config(cluster: &FuseeCluster, client_id: usize, cfg: KvClientConfig) -> Rc<Self> {
         Rc::new(FuseeKv {
             cluster: cluster.clone(),
             client_id,
             ep: Rc::new(cluster.fabric().endpoint()),
             rounds: Rounds::new(),
-            cache: RefCell::new(LfuCache::new(cache.entry_limit())),
+            cache: RefCell::new(LfuCache::new(cfg.cache.entry_limit())),
+            op_deadline_ns: cfg.op_deadline_ns,
             stale_gets: Cell::new(0),
             fresh_gets: Cell::new(0),
         })
@@ -314,8 +329,8 @@ impl FuseeKv {
     }
 }
 
-impl KvStore for FuseeKv {
-    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+impl FuseeKv {
+    async fn get_inner(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
         self.ep.work(self.cluster.config().get_overhead_ns).await;
         let cached = self.cache.borrow_mut().get(key).map(Rc::clone);
         match cached {
@@ -357,7 +372,7 @@ impl KvStore for FuseeKv {
         }
     }
 
-    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn update_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         self.ep.work(self.cluster.config().update_overhead_ns).await;
         let Some(e) = self.lookup(key).await else {
             return Err(KvError::NotIndexed);
@@ -404,13 +419,24 @@ impl KvStore for FuseeKv {
                 break;
             }
             if prev >= new_ptr {
-                // Lost to a concurrent newer update; FUSEE serializes via
-                // the index — our value is superseded, treat as applied.
+                // Lost to a pointer at or past our version; FUSEE
+                // serializes via the index — our value is superseded, treat
+                // as applied. The committed version must catch up to the
+                // pointer we just observed: a writer that crashed or timed
+                // out after its pointer CAS landed leaves the in-memory
+                // pointer ahead of the model's committed version, and this
+                // observation is exactly FUSEE's self-verifying resolution
+                // of such orphaned updates (§7.7).
+                if info.version.get() < prev >> 16 {
+                    info.version.set(prev >> 16);
+                }
                 return Ok(());
             }
             expected = prev;
         }
-        info.version.set(new_version);
+        if info.version.get() < new_version {
+            info.version.set(new_version);
+        }
 
         // RTT 3: propagate to the backup pointer.
         self.rounds.bump();
@@ -440,7 +466,7 @@ impl KvStore for FuseeKv {
         Ok(())
     }
 
-    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn insert_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
         let info = self.cluster.alloc_key(key);
         self.rounds.bump();
         // The capacity check rides the set roundtrip atomically, so
@@ -455,10 +481,10 @@ impl KvStore for FuseeKv {
         {
             return Err(KvError::IndexFull);
         }
-        self.update(key, value).await
+        self.update_inner(key, value).await
     }
 
-    async fn delete(&self, key: u64) -> KvResult<()> {
+    async fn delete_inner(&self, key: u64) -> KvResult<()> {
         if self.lookup(key).await.is_none() {
             return Err(KvError::NotFound);
         }
@@ -466,6 +492,39 @@ impl KvStore for FuseeKv {
         self.cluster.inner.index.remove(key).await;
         self.cache.borrow_mut().remove(key);
         Ok(())
+    }
+}
+
+impl KvStore for FuseeKv {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+        with_deadline(self.cluster.sim(), self.op_deadline_ns, self.get_inner(key)).await
+    }
+
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.update_inner(key, value),
+        )
+        .await
+    }
+
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.insert_inner(key, value),
+        )
+        .await
+    }
+
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        with_deadline(
+            self.cluster.sim(),
+            self.op_deadline_ns,
+            self.delete_inner(key),
+        )
+        .await
     }
 
     fn rounds(&self) -> u64 {

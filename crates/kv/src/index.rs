@@ -154,6 +154,22 @@ impl<L: Clone + 'static> Index<L> {
         self.inner.map.borrow_mut().remove(&key);
     }
 
+    /// Removes a mapping only if `pred` accepts the current one (1 RTT,
+    /// check atomic with the removal). A deleter uses this to unmap exactly
+    /// the generation it tombstoned: unconditional removal would let a
+    /// delete racing a re-insert unmap the re-inserter's *fresh* — never
+    /// tombstoned — replicas. Returns whether a mapping was removed.
+    pub async fn remove_if(&self, key: u64, pred: impl FnOnce(&L) -> bool) -> bool {
+        self.roundtrip().await;
+        let mut map = self.inner.map.borrow_mut();
+        if map.get(&key).is_some_and(pred) {
+            map.remove(&key);
+            true
+        } else {
+            false
+        }
+    }
+
     /// Control-plane bulk insert: no network cost (used by experiment
     /// loaders, which the paper does not measure).
     pub fn load(&self, key: u64, loc: L) {

@@ -70,7 +70,10 @@
 //! service standing in for uKharon (§5.4). [`runner`](run_workload) drives
 //! YCSB workloads against any store — sequentially or in pipelined batches
 //! (`RunConfig::batch`) — and produces the statistics the paper's figures
-//! report.
+//! report. For correctness testing, [`HistoryRecorder`] wraps any store so
+//! every operation lands in a multi-key history checkable with
+//! `swarm_core::KvHistory` — the machinery behind the chaos suite (see
+//! `TESTING.md`).
 
 mod builder;
 mod cache;
@@ -79,6 +82,7 @@ mod cluster;
 mod fusee;
 mod index;
 mod membership;
+mod recorder;
 mod runner;
 mod store;
 
@@ -89,5 +93,6 @@ pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
+pub use recorder::{value_tag, HistoryRecorder, RecordingStore};
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
 pub use store::{KvError, KvResult, KvStore, KvStoreExt};

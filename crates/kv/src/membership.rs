@@ -141,4 +141,83 @@ mod tests {
         let end = sim.run();
         assert_eq!(end, 0, "idle membership scheduled events");
     }
+
+    #[test]
+    fn crash_exactly_at_lease_expiry_is_detected_within_one_period() {
+        // The edge: the node dies at the very instant a lease poll fires.
+        // Whether that poll or the next one observes it, detection must
+        // complete within one further period, not be lost.
+        let sim = Sim::new(4);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 2);
+        let lease = 100_000;
+        let m = Membership::new(&sim, &fabric, lease);
+        m.watch_until(10 * lease);
+        let f2 = fabric.clone();
+        sim.schedule_at(lease, move |_| f2.crash_node(NodeId(0)));
+        sim.run_until(2 * lease);
+        assert!(
+            m.is_declared_dead(0),
+            "crash at the expiry instant must be detected by the next poll"
+        );
+    }
+
+    #[test]
+    fn crash_after_watch_horizon_goes_undetected() {
+        // The watcher is armed for a bounded horizon (deterministic
+        // termination): a crash after the horizon is nobody's business.
+        let sim = Sim::new(5);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 2);
+        let m = Membership::new(&sim, &fabric, 50_000);
+        m.watch_until(200_000);
+        let health = NodeHealth::new(2);
+        m.subscribe(Rc::clone(&health));
+        let f2 = fabric.clone();
+        sim.schedule_at(300_000, move |_| f2.crash_node(NodeId(1)));
+        sim.run();
+        assert!(!fabric.node(NodeId(1)).is_alive());
+        assert!(!m.is_declared_dead(1), "watcher horizon expired");
+        assert!(!health.is_suspected(1));
+    }
+
+    #[test]
+    fn double_crash_of_the_same_node_resuspects_after_recovery() {
+        let sim = Sim::new(6);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 2);
+        let m = Membership::new(&sim, &fabric, 50_000);
+        m.watch_until(1_000_000);
+        let health = NodeHealth::new(2);
+        m.subscribe(Rc::clone(&health));
+        for (at, alive) in [(60_000, false), (300_000, true), (600_000, false)] {
+            let f = fabric.clone();
+            sim.schedule_at(at, move |_| {
+                if alive {
+                    f.restart_node(NodeId(0));
+                } else {
+                    f.crash_node(NodeId(0));
+                }
+            });
+        }
+        sim.run_until(250_000);
+        assert!(m.is_declared_dead(0), "first crash detected");
+        sim.run_until(550_000);
+        assert!(!m.is_declared_dead(0), "restart clears the declaration");
+        assert!(!health.is_suspected(0));
+        sim.run_until(1_000_000);
+        assert!(m.is_declared_dead(0), "second crash re-detected");
+        assert!(health.is_suspected(0));
+    }
+
+    #[test]
+    fn crashing_an_already_crashed_node_is_idempotent() {
+        let sim = Sim::new(7);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 2);
+        let m = Membership::new(&sim, &fabric, 50_000);
+        m.watch_until(400_000);
+        let f2 = fabric.clone();
+        sim.schedule_at(10_000, move |_| f2.crash_node(NodeId(1)));
+        let f3 = fabric.clone();
+        sim.schedule_at(20_000, move |_| f3.crash_node(NodeId(1)));
+        sim.run();
+        assert!(m.is_declared_dead(1));
+    }
 }

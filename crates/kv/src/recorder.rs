@@ -1,0 +1,289 @@
+//! History recording for linearizability checking: wrap any [`KvStore`] in
+//! a [`RecordingStore`] and every operation's invocation/response virtual
+//! times and observed result are appended to a shared
+//! [`KvHistory`](swarm_core::KvHistory).
+//!
+//! The wrapper implements [`KvStore`] itself, so it slots in anywhere a
+//! store does — under the YCSB [`runner`](crate::run_workload), under the
+//! batched [`KvStoreExt`](crate::KvStoreExt) multi-ops (each per-key
+//! element of a batch is recorded as its own overlapping operation), or
+//! under hand-written chaos workloads. Error returns are recorded with
+//! their semantics: a `NotFound`-style rejection *observed absence*; a
+//! [`KvError::Timeout`] leaves the operation's effect **ambiguous** (it may
+//! still land via in-flight messages), which the checker treats as
+//! apply-or-discard.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use swarm_core::{xxh64, KvHistory, KvOpKind};
+use swarm_fabric::Endpoint;
+use swarm_sim::Sim;
+
+use crate::store::{KvError, KvResult, KvStore};
+
+/// Derives the checker's `u64` value tag from stored bytes: the first 8
+/// bytes little-endian (values of 8+ bytes with distinct prefixes — e.g.
+/// `Workload::value_for` payloads or tag-prefixed chaos values — map to
+/// distinct tags), or an xxh64 for shorter payloads.
+pub fn value_tag(value: &[u8]) -> u64 {
+    if value.len() >= 8 {
+        u64::from_le_bytes(value[..8].try_into().unwrap())
+    } else {
+        xxh64(value, 0x7A65)
+    }
+}
+
+struct Inner {
+    sim: Sim,
+    history: RefCell<KvHistory>,
+}
+
+/// A shared history sink. Clone-cheap; one recorder typically spans every
+/// client of a run so the history captures true cross-client concurrency.
+#[derive(Clone)]
+pub struct HistoryRecorder {
+    inner: Rc<Inner>,
+}
+
+impl HistoryRecorder {
+    /// Creates an empty recorder stamping times from `sim`.
+    pub fn new(sim: &Sim) -> Self {
+        HistoryRecorder {
+            inner: Rc::new(Inner {
+                sim: sim.clone(),
+                history: RefCell::new(KvHistory::new()),
+            }),
+        }
+    }
+
+    /// Declares `key` bulk-loaded with `value` before the recorded run
+    /// starts (its tag seeds the checker's initial state).
+    pub fn set_initial(&self, key: u64, value: &[u8]) {
+        self.inner
+            .history
+            .borrow_mut()
+            .set_initial(key, value_tag(value));
+    }
+
+    /// Wraps a store so its operations are recorded into this history.
+    pub fn wrap<S: KvStore>(&self, store: Rc<S>) -> Rc<RecordingStore<S>> {
+        Rc::new(RecordingStore {
+            store,
+            rec: self.clone(),
+        })
+    }
+
+    /// Operations recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner.history.borrow().len()
+    }
+
+    /// True if nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.inner.history.borrow().is_empty()
+    }
+
+    /// A snapshot of the history recorded so far.
+    pub fn history(&self) -> KvHistory {
+        self.inner.history.borrow().clone()
+    }
+
+    /// Takes the recorded history, leaving the recorder empty.
+    pub fn take_history(&self) -> KvHistory {
+        self.inner.history.replace(KvHistory::new())
+    }
+
+    fn record(&self, key: u64, invoke: u64, outcome: Outcome) {
+        let now = self.inner.sim.now();
+        let mut h = self.inner.history.borrow_mut();
+        match outcome {
+            Outcome::Definite(kind) => h.push(key, invoke, now, kind),
+            Outcome::Ambiguous(kind) => h.push_ambiguous(key, invoke, kind),
+        }
+    }
+}
+
+enum Outcome {
+    Definite(KvOpKind),
+    Ambiguous(KvOpKind),
+}
+
+/// Maps a mutation result to its history semantics. `intended` is the
+/// state change the mutation would apply if it succeeded.
+fn mutation_outcome(r: &KvResult<()>, intended: KvOpKind) -> Outcome {
+    match r {
+        Ok(()) => Outcome::Definite(intended),
+        // The effect may or may not have landed: client-crash semantics.
+        Err(KvError::Timeout) => Outcome::Ambiguous(intended),
+        // The store observed absence and applied nothing.
+        Err(KvError::NotFound) | Err(KvError::NotIndexed) | Err(KvError::Deleted) => {
+            Outcome::Definite(KvOpKind::FailAbsent)
+        }
+        // Capacity is a global resource, not per-key state: a refusal is
+        // legal at any point and changes nothing.
+        Err(KvError::IndexFull) => Outcome::Definite(KvOpKind::FailNoop),
+    }
+}
+
+/// A [`KvStore`] that records every operation into a shared
+/// [`HistoryRecorder`]. Minted with [`HistoryRecorder::wrap`].
+pub struct RecordingStore<S> {
+    store: Rc<S>,
+    rec: HistoryRecorder,
+}
+
+impl<S> RecordingStore<S> {
+    /// The wrapped store.
+    pub fn store(&self) -> &Rc<S> {
+        &self.store
+    }
+}
+
+impl<S: KvStore> KvStore for RecordingStore<S> {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.get(key).await;
+        let outcome = match &r {
+            Ok(Some(v)) => Outcome::Definite(KvOpKind::Get(Some(value_tag(v)))),
+            Ok(None) => Outcome::Definite(KvOpKind::Get(None)),
+            // A failed read observed nothing and changed nothing.
+            Err(_) => Outcome::Definite(KvOpKind::FailNoop),
+        };
+        self.rec.record(key, invoke, outcome);
+        r
+    }
+
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        let tag = value_tag(&value);
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.update(key, value).await;
+        self.rec
+            .record(key, invoke, mutation_outcome(&r, KvOpKind::Update(tag)));
+        r
+    }
+
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        let tag = value_tag(&value);
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.insert(key, value).await;
+        self.rec
+            .record(key, invoke, mutation_outcome(&r, KvOpKind::Insert(tag)));
+        r
+    }
+
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.delete(key).await;
+        self.rec
+            .record(key, invoke, mutation_outcome(&r, KvOpKind::Delete));
+        r
+    }
+
+    fn rounds(&self) -> u64 {
+        self.store.rounds()
+    }
+
+    fn endpoint(&self) -> Rc<Endpoint> {
+        self.store.endpoint()
+    }
+
+    fn client_id(&self) -> usize {
+        self.store.client_id()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{KvStoreExt, Protocol, StoreBuilder};
+    use swarm_core::KvOpKind;
+
+    fn tagged(tag: u64) -> Vec<u8> {
+        let mut v = vec![0u8; 64];
+        v[..8].copy_from_slice(&tag.to_le_bytes());
+        v
+    }
+
+    #[test]
+    fn value_tag_is_prefix_or_hash() {
+        assert_eq!(value_tag(&tagged(77)), 77);
+        assert_eq!(value_tag(&[1, 2, 3]), value_tag(&[1, 2, 3]));
+        assert_ne!(value_tag(&[1, 2, 3]), value_tag(&[1, 2, 4]));
+    }
+
+    #[test]
+    fn recorded_run_produces_a_checkable_history() {
+        let sim = Sim::new(11);
+        let cluster = StoreBuilder::new(Protocol::SafeGuess).build_cluster(&sim);
+        cluster.load_keys(4, |k| tagged(1_000 + k));
+        let rec = HistoryRecorder::new(&sim);
+        for k in 0..4 {
+            rec.set_initial(k, &tagged(1_000 + k));
+        }
+        let client = rec.wrap(cluster.client(0));
+        let rec2 = rec.clone();
+        sim.block_on(async move {
+            assert_eq!(value_tag(&client.get(2).await.unwrap().unwrap()), 1_002);
+            client.update(2, tagged(5)).await.unwrap();
+            client.delete(3).await.unwrap();
+            assert_eq!(client.get(3).await.unwrap(), None);
+            client.insert(9, tagged(6)).await.unwrap();
+        });
+        let h = rec2.take_history();
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.definite_ops(), 5);
+        h.check().expect("sequential run must linearize");
+        assert!(rec2.is_empty(), "take_history drains");
+    }
+
+    #[test]
+    fn batched_multi_ops_record_each_element() {
+        let sim = Sim::new(12);
+        let cluster = StoreBuilder::new(Protocol::SafeGuess).build_cluster(&sim);
+        cluster.load_keys(8, |k| tagged(1_000 + k));
+        let rec = HistoryRecorder::new(&sim);
+        for k in 0..8 {
+            rec.set_initial(k, &tagged(1_000 + k));
+        }
+        let client = rec.wrap(cluster.client(0));
+        sim.block_on(async move {
+            for r in client.multi_get(&[0, 1, 2, 3]).await {
+                r.unwrap();
+            }
+        });
+        let h = rec.history();
+        assert_eq!(h.len(), 4, "one record per batch element");
+        assert!(h.is_linearizable());
+        // Batch elements overlap in time: all share the invoke instant.
+        let invokes: Vec<u64> = h.ops().iter().map(|o| o.invoke).collect();
+        assert!(invokes.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn timeout_is_recorded_as_ambiguous() {
+        let sim = Sim::new(13);
+        let cluster = StoreBuilder::new(Protocol::Raw)
+            .op_deadline_ns(200_000)
+            .build_cluster(&sim);
+        cluster.load_keys(2, |k| tagged(1_000 + k));
+        let rec = HistoryRecorder::new(&sim);
+        rec.set_initial(0, &tagged(1_000));
+        rec.set_initial(1, &tagged(1_001));
+        // Crash the node hosting key 0's single replica.
+        let node = cluster.swarm().unwrap().replica_nodes_for(0)[0];
+        cluster.crash_node(node);
+        let client = rec.wrap(cluster.client(0));
+        sim.block_on(async move {
+            assert_eq!(
+                client.update(0, tagged(9)).await,
+                Err(crate::KvError::Timeout)
+            );
+        });
+        let h = rec.history();
+        assert_eq!(h.len(), 1);
+        assert_eq!(h.definite_ops(), 0, "timeout must be ambiguous");
+        assert_eq!(h.ops()[0].kind, KvOpKind::Update(9));
+        assert!(h.is_linearizable());
+    }
+}

@@ -311,6 +311,7 @@ fn cache_miss_costs_an_index_roundtrip() {
     let cluster = StoreBuilder::new(Protocol::SafeGuess)
         .client_config(KvClientConfig {
             cache: CacheCapacity::Entries(4),
+            ..Default::default()
         })
         .build_cluster(&sim);
     cluster.load_keys(64, |k| vec![k as u8; 64]);
@@ -401,4 +402,98 @@ fn batched_runner_mode_works_through_the_builder() {
     assert_eq!(stats.measured_ops, 2_000);
     assert_eq!(stats.failed_ops, 0);
     let _ = Rc::strong_count(&clients[0]);
+}
+
+// ---- KvError paths under injected faults ----
+
+#[test]
+fn timeout_is_surfaced_not_panicked_when_the_quorum_is_unreachable() {
+    // Crash every memory node: no quorum can form. With a per-op deadline
+    // the replicated store must *return* `Timeout`, not hang or panic.
+    for proto in [Protocol::SafeGuess, Protocol::Abd] {
+        let sim = Sim::new(40);
+        let cluster = StoreBuilder::new(proto)
+            .op_deadline_ns(500_000)
+            .build_cluster(&sim);
+        cluster.load_keys(4, |k| vec![k as u8; 64]);
+        for n in cluster.fabric().node_ids() {
+            cluster.crash_node(n);
+        }
+        let c = cluster.client(0);
+        sim.block_on(async move {
+            assert_eq!(c.get(1).await, Err(KvError::Timeout), "{proto:?} get");
+            assert_eq!(
+                c.update(1, vec![7u8; 64]).await,
+                Err(KvError::Timeout),
+                "{proto:?} update"
+            );
+        });
+    }
+}
+
+#[test]
+fn raw_times_out_when_its_single_replica_is_partitioned() {
+    let sim = Sim::new(41);
+    let cluster = StoreBuilder::new(Protocol::Raw)
+        .op_deadline_ns(300_000)
+        .build_cluster(&sim);
+    cluster.load_keys(4, |k| vec![k as u8; 64]);
+    let node = cluster.swarm().unwrap().replica_nodes_for(2)[0];
+    cluster.fabric().partition_node(node);
+    let c = cluster.client(0);
+    let cluster2 = cluster.clone();
+    sim.block_on(async move {
+        assert_eq!(c.get(2).await, Err(KvError::Timeout));
+        // Healing the partition restores the key: memory was never lost.
+        cluster2.fabric().heal_node(node);
+        assert_eq!(*c.get(2).await.unwrap().unwrap(), vec![2u8; 64]);
+    });
+}
+
+#[test]
+fn index_full_and_not_found_are_unchanged_mid_partition() {
+    // Partition one node: the replicated store stays available via quorum
+    // widening, and the *semantic* errors keep their meaning — a full index
+    // still refuses fresh mappings with IndexFull (not Timeout), and a
+    // delete of an absent key still reports NotFound.
+    let sim = Sim::new(42);
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .index_capacity(4)
+        .op_deadline_ns(2_000_000)
+        .build_cluster(&sim);
+    cluster.load_keys(4, |k| vec![k as u8; 64]);
+    cluster.fabric().partition_node(swarm_fabric::NodeId(1));
+    let c = cluster.client(0);
+    sim.block_on(async move {
+        assert_eq!(
+            c.insert(100, vec![1u8; 64]).await,
+            Err(KvError::IndexFull),
+            "capacity refusal must survive a partition"
+        );
+        assert_eq!(
+            c.delete(200).await,
+            Err(KvError::NotFound),
+            "absent-key delete must survive a partition"
+        );
+        // Existing keys stay readable and writable through the quorum.
+        c.update(1, vec![9u8; 64]).await.unwrap();
+        assert_eq!(*c.get(1).await.unwrap().unwrap(), vec![9u8; 64]);
+    });
+}
+
+#[test]
+fn fusee_surfaces_timeout_under_crash() {
+    let sim = Sim::new(43);
+    let cluster = StoreBuilder::new(Protocol::Fusee)
+        .op_deadline_ns(500_000)
+        .build_cluster(&sim);
+    cluster.load_keys(8, |k| vec![k as u8; 64]);
+    for n in cluster.fabric().node_ids() {
+        cluster.crash_node(n);
+    }
+    let c = cluster.client(0);
+    sim.block_on(async move {
+        assert_eq!(c.get(1).await, Err(KvError::Timeout));
+        assert_eq!(c.update(1, vec![7u8; 64]).await, Err(KvError::Timeout));
+    });
 }
