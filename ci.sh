@@ -25,4 +25,15 @@ echo "== chaos suite (release, SWARM_CHAOS_SEEDS=${SWARM_CHAOS_SEEDS:-8})"
 SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
     cargo test --release -q -p swarm-tests --test chaos
 
+# Perf smoke: quick fig5 single-threaded and a 2-thread fig8 sweep, volume-
+# scaled, under generous wall-time budgets. Guards the event loop (fig5 runs
+# full quick volume, ~4 s at the PR-4 baseline) and the threaded sweep
+# driver from silent regressions; budgets are ~10x the expected times so
+# only order-of-magnitude regressions (or hangs) trip them.
+echo "== perf smoke (fig5 quick <60s; fig8 sweep, 2 threads, scaled, <120s)"
+BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
+SWARM_BENCH_THREADS=1 timeout 60 "$BIN_DIR/fig5" > /dev/null
+SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 timeout 120 \
+    "$BIN_DIR/fig8" > /dev/null
+
 echo "CI OK"

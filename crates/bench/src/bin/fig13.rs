@@ -2,15 +2,18 @@
 //! the number of In-n-Out 8 B metadata buffers per key (1, 4, 16, 64) with
 //! 64 clients, YCSB B. More buffers make 1-roundtrip updates common (each
 //! writer CASes its own word) at the price of slightly larger reads.
+//!
+//! Cells run threaded through the sweep driver (`SWARM_BENCH_THREADS`) and
+//! merge in deterministic cell order.
 
-use swarm_bench::{report_cdf, run_system, write_csv, ExpParams, Protocol};
+use swarm_bench::{report_cdf, run_system, sweep, write_csv, ExpParams, Protocol};
 use swarm_workload::{OpType, WorkloadSpec};
 
 fn main() {
     let quick = !std::env::args().any(|a| a == "--full");
     println!("Figure 13: metadata buffers per key, 64 clients, YCSB B");
-    let mut rows = Vec::new();
-    for bufs in [1usize, 4, 16, 64] {
+    let cells = [1usize, 4, 16, 64];
+    let results = sweep(&cells, |&bufs| {
         let p = ExpParams {
             clients: 64,
             meta_bufs: Some(bufs),
@@ -23,20 +26,15 @@ fn main() {
             rc.record_rtts = true;
             rc.prewarm_keys = Some(p.n_keys); // steady-state caches
         });
-        println!("{bufs} buffer(s):");
-        report_cdf(
-            "fig13",
-            &format!("{bufs}bufs_get"),
-            &mut stats.lat(OpType::Get),
-            200,
-        );
-        report_cdf(
-            "fig13",
-            &format!("{bufs}bufs_update"),
-            &mut stats.lat(OpType::Update),
-            200,
-        );
         let one_rtt = stats.rtt_fraction(OpType::Update, 1) * 100.0;
+        (stats.lat(OpType::Get), stats.lat(OpType::Update), one_rtt)
+    });
+
+    let mut rows = Vec::new();
+    for (&bufs, (mut get, mut upd, one_rtt)) in cells.iter().zip(results) {
+        println!("{bufs} buffer(s):");
+        report_cdf("fig13", &format!("{bufs}bufs_get"), &mut get, 200);
+        report_cdf("fig13", &format!("{bufs}bufs_update"), &mut upd, 200);
         println!("    updates completing in 1 rtt: {one_rtt:.0}%");
         rows.push(format!("{bufs},{one_rtt:.1}"));
     }

@@ -1,7 +1,10 @@
 //! Figure 7: per-core throughput–latency of SWARM-KV and DM-ABD, YCSB A and
 //! B, varying the number of concurrent operations per client from 1 to 8.
+//!
+//! Cells run threaded through the sweep driver (`SWARM_BENCH_THREADS`) and
+//! merge in deterministic cell order.
 
-use swarm_bench::{run_system, write_csv, ExpParams, Protocol};
+use swarm_bench::{run_system, sweep, write_csv, ExpParams, Protocol};
 use swarm_workload::WorkloadSpec;
 
 fn main() {
@@ -13,7 +16,35 @@ fn main() {
     }
     .apply_cli();
 
+    let mut cells = Vec::new();
     for (wl_name, spec) in [("A", WorkloadSpec::A), ("B", WorkloadSpec::B)] {
+        for sys in [Protocol::SafeGuess, Protocol::Abd] {
+            for conc in 1..=8usize {
+                cells.push((wl_name, spec, sys, conc));
+            }
+        }
+    }
+    let results = sweep(&cells, |&(_, spec, sys, conc)| {
+        let p = ExpParams {
+            concurrency: conc,
+            ..base.clone()
+        };
+        let (stats, _, _) = run_system(p.seed, sys, &p, spec, |_| {});
+        let kops_per_core = stats.throughput_ops() / 1e3 / p.clients as f64;
+        let avg: f64 = {
+            let mut sum = 0.0;
+            let mut n = 0u64;
+            for h in stats.latency.values() {
+                sum += h.mean() * h.len() as f64;
+                n += h.len() as u64;
+            }
+            sum / n.max(1) as f64 / 1e3
+        };
+        (kops_per_core, avg)
+    });
+
+    let mut results = results.into_iter();
+    for (wl_name, _) in [("A", WorkloadSpec::A), ("B", WorkloadSpec::B)] {
         println!("Figure 7: YCSB {wl_name}, per-core throughput vs average latency");
         println!(
             "{:<10} {:>5} {:>12} {:>12}",
@@ -22,21 +53,7 @@ fn main() {
         for sys in [Protocol::SafeGuess, Protocol::Abd] {
             let mut rows = Vec::new();
             for conc in 1..=8usize {
-                let p = ExpParams {
-                    concurrency: conc,
-                    ..base.clone()
-                };
-                let (stats, _, _) = run_system(p.seed, sys, &p, spec, |_| {});
-                let kops_per_core = stats.throughput_ops() / 1e3 / p.clients as f64;
-                let avg: f64 = {
-                    let mut sum = 0.0;
-                    let mut n = 0u64;
-                    for h in stats.latency.values() {
-                        sum += h.mean() * h.len() as f64;
-                        n += h.len() as u64;
-                    }
-                    sum / n.max(1) as f64 / 1e3
-                };
+                let (kops_per_core, avg) = results.next().expect("one result per cell");
                 println!(
                     "{:<10} {:>5} {:>12.0} {:>12.2}",
                     sys.name(),

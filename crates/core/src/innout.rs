@@ -192,14 +192,17 @@ impl InnOutReplica {
         self.inner.writer as u16 * per_writer + local
     }
 
-    fn encode_oop(&self, word: u64, value: &[u8]) -> Vec<u8> {
+    /// Builds the `[meta | hash | value]` out-of-place buffer. This is the
+    /// one place a write's bytes are copied (the slot header is
+    /// per-replica); the buffer is then `Rc`-shared through the fabric.
+    fn encode_oop(&self, word: u64, value: &[u8]) -> swarm_fabric::Payload {
         let l = &self.inner.layout;
         assert_eq!(value.len(), l.value_cap, "fixed-size register");
         let mut buf = Vec::with_capacity(OOP_HEADER + l.value_cap);
         buf.extend_from_slice(&word.to_le_bytes());
         buf.extend_from_slice(&innout_hash(word, value).to_le_bytes());
         buf.extend_from_slice(value);
-        buf
+        buf.into()
     }
 
     /// Applies `MAX(meta_word_addr, word)` given that the out-of-place data
@@ -241,7 +244,7 @@ impl InnOutReplica {
             l.node,
             vec![Op::Write {
                 addr: l.inplace_addr(),
-                data: buf,
+                data: buf.into(),
             }],
         ));
     }

@@ -31,7 +31,7 @@
 //! use swarm_fabric::{Fabric, FabricConfig};
 //! use swarm_core::{
 //!     InnOutLayout, InnOutReplica, MaxRegister, NodeHealth, QuorumConfig,
-//!     ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock,
+//!     ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock, TsLockSet,
 //! };
 //!
 //! let sim = Sim::new(7);
@@ -55,9 +55,9 @@
 //! // Timestamp locks: one 8 B CAS word per node, per writer (1 writer here).
 //! let words = fabric.node_ids().iter()
 //!     .map(|&n| (n, fabric.node(n).alloc(8, 8))).collect();
-//! let tsl = Rc::new(vec![TsLock::new(&sim, Rc::clone(&ep), words,
-//!                                    Rc::clone(&health), QuorumConfig::default(),
-//!                                    rounds.clone())]);
+//! let tsl = Rc::new(TsLockSet::eager(vec![TsLock::new(
+//!     &sim, Rc::clone(&ep), words, Rc::clone(&health),
+//!     QuorumConfig::default(), rounds.clone())]));
 //! let guesser = Rc::new(TsGuesser::new(Rc::new(GuessClock::perfect(&sim)), 0));
 //! let reg = SafeGuess::new(m, tsl, guesser, rounds);
 //!
@@ -88,5 +88,5 @@ pub use safeguess::{Abd, ReadOutcome, ReadPath, SafeGuess, WritePath};
 pub use sim_replica::{SimReplica, SimReplicaState};
 pub use stamp::{Stamp, TsGuesser, I_MAX, TICK_NS};
 pub use traits::{MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds, Snapshot};
-pub use tslock::{LockMode, TsLock};
+pub use tslock::{LockMode, TsLock, TsLockSet};
 pub use value::MVal;

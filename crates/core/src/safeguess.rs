@@ -14,7 +14,7 @@ use std::rc::Rc;
 
 use crate::stamp::{Stamp, TsGuesser};
 use crate::traits::{MaxRegister, Rounds};
-use crate::tslock::{LockMode, TsLock};
+use crate::tslock::{LockMode, TsLockSet};
 use crate::value::MVal;
 
 /// Outcome labels for a completed write (used by the evaluation to explain
@@ -62,8 +62,9 @@ pub enum ReadPath {
 /// set of per-writer timestamp locks.
 pub struct SafeGuess<M> {
     m: M,
-    /// `TSL[tid]` — one lock per potential writer (§3.1, footnote 2).
-    tsl: Rc<Vec<TsLock>>,
+    /// `TSL[tid]` — one lock per potential writer (§3.1, footnote 2),
+    /// materialized lazily on the slow paths that touch them.
+    tsl: Rc<TsLockSet>,
     guesser: Rc<TsGuesser>,
     rounds: Rounds,
 }
@@ -82,7 +83,7 @@ impl<M: Clone> Clone for SafeGuess<M> {
 impl<M: MaxRegister> SafeGuess<M> {
     /// Creates a register handle for the writer identified by `guesser`'s
     /// tid. `tsl` must hold one lock per potential writer, indexed by tid.
-    pub fn new(m: M, tsl: Rc<Vec<TsLock>>, guesser: Rc<TsGuesser>, rounds: Rounds) -> Self {
+    pub fn new(m: M, tsl: Rc<TsLockSet>, guesser: Rc<TsGuesser>, rounds: Rounds) -> Self {
         SafeGuess {
             m,
             tsl,
@@ -97,8 +98,9 @@ impl<M: MaxRegister> SafeGuess<M> {
     }
 
     /// Writes `v` (Algorithm 2). Wait-free; single roundtrip on the fast
-    /// path. Returns which path was taken.
-    pub async fn write(&self, v: Vec<u8>) -> WritePath {
+    /// path. Returns which path was taken. The payload may be an
+    /// already-shared `Rc<Vec<u8>>` (no copy) or a plain `Vec<u8>`.
+    pub async fn write(&self, v: impl Into<Rc<Vec<u8>>>) -> WritePath {
         let stamp = self.guesser.guess();
         let w = MVal::new(stamp, v);
 
@@ -120,7 +122,9 @@ impl<M: MaxRegister> SafeGuess<M> {
         // timestamp so re-execution cannot make the value readable twice.
         self.guesser.resync();
         let tid = self.guesser.tid();
-        if self.tsl[tid as usize]
+        if self
+            .tsl
+            .get(tid as usize)
             .try_lock(w.stamp.key(), LockMode::Write)
             .await
         {
@@ -177,7 +181,9 @@ impl<M: MaxRegister> SafeGuess<M> {
                 Some(prev) if prev.stamp == m.stamp => {
                     // Seen twice: the stamp was fresh (Lemma C.1). Ensure the
                     // writer will never re-execute by read-locking it.
-                    if self.tsl[tid as usize]
+                    if self
+                        .tsl
+                        .get(tid as usize)
                         .try_lock(m.stamp.key(), LockMode::Read)
                         .await
                     {
@@ -245,8 +251,9 @@ impl<M: MaxRegister> Abd<M> {
     }
 
     /// Writes `v`: reads a fresh timestamp, then writes (two phases).
-    /// Returns `false` if the register holds a delete tombstone.
-    pub async fn write(&self, v: Vec<u8>) -> bool {
+    /// Returns `false` if the register holds a delete tombstone. Accepts a
+    /// shared `Rc<Vec<u8>>` payload like [`SafeGuess::write`].
+    pub async fn write(&self, v: impl Into<Rc<Vec<u8>>>) -> bool {
         let cur = self.m.read_stamp().await;
         if cur.is_tombstone() {
             return false;

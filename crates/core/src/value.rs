@@ -27,11 +27,14 @@ impl MVal {
         }
     }
 
-    /// Creates a value.
-    pub fn new(stamp: Stamp, value: Vec<u8>) -> MVal {
+    /// Creates a value. Accepts a `Vec<u8>` (moved into an `Rc`, no copy) or
+    /// an already-shared `Rc<Vec<u8>>` (refcount bump only), so one payload
+    /// buffer flows from the KV layer through quorum fan-out to the fabric
+    /// without deep copies.
+    pub fn new(stamp: Stamp, value: impl Into<Rc<Vec<u8>>>) -> MVal {
         MVal {
             stamp,
-            value: Rc::new(value),
+            value: value.into(),
         }
     }
 

@@ -7,7 +7,8 @@ use std::rc::Rc;
 
 use swarm_core::{
     Abd, History, InnOutLayout, InnOutReplica, MaxRegister, NodeHealth, OpKind, QuorumConfig,
-    ReliableMaxReg, Rounds, SafeGuess, SimReplica, SimReplicaState, TsGuesser, TsLock, WritePath,
+    ReliableMaxReg, Rounds, SafeGuess, SimReplica, SimReplicaState, TsGuesser, TsLock, TsLockSet,
+    WritePath,
 };
 use swarm_fabric::{Fabric, FabricConfig, NodeId};
 use swarm_sim::{GuessClock, Sim};
@@ -79,7 +80,7 @@ fn sim_replica_registers(
                 .collect();
             let clock = Rc::new(GuessClock::new(sim, skew_ns, 20.0, skew_ns / 4));
             let guesser = Rc::new(TsGuesser::new(clock, tid as u8));
-            SafeGuess::new(m, Rc::new(tsl), guesser, rounds)
+            SafeGuess::new(m, Rc::new(TsLockSet::eager(tsl)), guesser, rounds)
         })
         .collect()
 }
@@ -143,7 +144,7 @@ fn swarm_registers(
                 .collect();
             let clock = Rc::new(GuessClock::new(sim, skew_ns, 10.0, skew_ns / 4));
             let guesser = Rc::new(TsGuesser::new(clock, tid as u8));
-            SafeGuess::new(m, Rc::new(tsl), guesser, rounds)
+            SafeGuess::new(m, Rc::new(TsLockSet::eager(tsl)), guesser, rounds)
         })
         .collect()
 }

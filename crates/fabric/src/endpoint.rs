@@ -14,7 +14,7 @@ use swarm_sim::{oneshot, FifoResource, Nanos, OneshotReceiver};
 
 use crate::fabric::Fabric;
 use crate::node::NodeId;
-use crate::op::{Op, OpResult};
+use crate::op::{Op, OpResult, Payload};
 
 /// Per-client traffic counters (drives per-client IO accounting, Table 3).
 #[derive(Debug, Clone, Copy, Default)]
@@ -126,7 +126,9 @@ impl Endpoint {
 
         let sim2 = sim.clone();
         sim.spawn(async move {
-            let cfg = fabric.config().clone();
+            // Borrow the config from the moved-in fabric handle; the old
+            // code cloned the whole `FabricConfig` per message.
+            let cfg = fabric.config();
             // 1. Wait for the CPU to finish posting the work requests.
             sim2.sleep_until(submit_done).await;
 
@@ -216,9 +218,17 @@ impl Endpoint {
         Some(r.into_iter().next().unwrap().into_read())
     }
 
-    /// Convenience: single WRITE.
-    pub async fn write(&self, node: NodeId, addr: u64, data: Vec<u8>) -> Option<()> {
-        self.submit(node, vec![Op::Write { addr, data }]).await?;
+    /// Convenience: single WRITE. The payload is shared (`impl
+    /// Into<Payload>` — a `Vec<u8>` moves in without a copy).
+    pub async fn write(&self, node: NodeId, addr: u64, data: impl Into<Payload>) -> Option<()> {
+        self.submit(
+            node,
+            vec![Op::Write {
+                addr,
+                data: data.into(),
+            }],
+        )
+        .await?;
         Some(())
     }
 

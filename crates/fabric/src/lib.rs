@@ -55,4 +55,4 @@ pub use fabric::{Fabric, TrafficStats};
 pub use fault::{FaultAction, FaultPlan};
 pub use mem::NodeMemory;
 pub use node::{Node, NodeId};
-pub use op::{Op, OpResult};
+pub use op::{Op, OpResult, Payload};

@@ -1,5 +1,16 @@
 //! One-sided fabric operations and their wire-size accounting.
 
+use std::rc::Rc;
+
+/// Reference-counted payload bytes.
+///
+/// Write payloads are shared, not copied, on their way through the fabric:
+/// the KV layer builds one padded buffer per logical write and every hop
+/// (op construction, the in-flight message task, chunked application) holds
+/// the same `Rc`. Extends `swarm-core::MVal`'s refcounting through the
+/// endpoint. A `Vec<u8>` converts with `.into()` (a move, not a copy).
+pub type Payload = Rc<Vec<u8>>;
+
 /// A one-sided operation against a memory node.
 ///
 /// A `Vec<Op>` submitted together forms a *pipelined series*: the node applies
@@ -19,8 +30,8 @@ pub enum Op {
     Write {
         /// Base address on the node.
         addr: u64,
-        /// Bytes to store.
-        data: Vec<u8>,
+        /// Bytes to store (shared, never deep-copied per hop).
+        data: Payload,
     },
     /// Atomic 64-bit compare-and-swap at `addr`.
     Cas {
@@ -103,7 +114,7 @@ mod tests {
         assert_eq!(Op::Read { addr: 0, len: 64 }.response_payload(), 64);
         let w = Op::Write {
             addr: 0,
-            data: vec![0; 100],
+            data: vec![0; 100].into(),
         };
         assert_eq!(w.request_payload(), 100);
         assert_eq!(w.response_payload(), 0);

@@ -20,9 +20,13 @@ fn write_then_read_roundtrips_through_the_wire() {
     let addr = fabric.node(NodeId(0)).alloc(128, 8);
     let ep = fabric.endpoint();
     sim.block_on(async move {
-        ep.write(NodeId(0), addr, (0..128u8).map(|i| i ^ 0x5a).collect())
-            .await
-            .unwrap();
+        ep.write(
+            NodeId(0),
+            addr,
+            (0..128u8).map(|i| i ^ 0x5a).collect::<Vec<u8>>(),
+        )
+        .await
+        .unwrap();
         let got = ep.read(NodeId(0), addr, 128).await.unwrap();
         assert_eq!(got, (0..128u8).map(|i| i ^ 0x5a).collect::<Vec<_>>());
     });
@@ -93,7 +97,7 @@ fn pipelined_series_applies_in_fifo_order_in_one_roundtrip() {
             vec![
                 Op::Write {
                     addr: buf,
-                    data: vec![0xAB; 1024],
+                    data: vec![0xAB; 1024].into(),
                 },
                 Op::Cas {
                     addr: meta,
@@ -206,14 +210,14 @@ fn qp_delivery_is_fifo_per_node() {
                 node,
                 vec![Op::Write {
                     addr,
-                    data: 1u64.to_le_bytes().to_vec(),
+                    data: 1u64.to_le_bytes().to_vec().into(),
                 }],
             );
             let r2 = ep.submit(
                 node,
                 vec![Op::Write {
                     addr,
-                    data: 2u64.to_le_bytes().to_vec(),
+                    data: 2u64.to_le_bytes().to_vec().into(),
                 }],
             );
             let (a, b) = swarm_sim::join2(r1, r2).await;
@@ -239,7 +243,7 @@ fn dropped_receiver_still_applies_the_write() {
         node,
         vec![Op::Write {
             addr,
-            data: 7u64.to_le_bytes().to_vec(),
+            data: 7u64.to_le_bytes().to_vec().into(),
         }],
     ));
     sim.run();
@@ -450,4 +454,58 @@ fn fault_plan_applies_on_schedule() {
     assert!(fabric.node(NodeId(1)).is_alive(), "restart fired");
     assert!(!fabric.is_partitioned(NodeId(2)), "heal fired");
     println!("{plan}");
+}
+
+#[test]
+fn fabric_delivery_schedules_no_boxed_closures() {
+    // The whole message pipeline (CPU issue, switch, wire, node service,
+    // chunked DMA, response) must ride the executor's closure-free timer
+    // path: zero boxed `dyn FnOnce` events for any amount of traffic.
+    let (sim, fabric) = setup(26, FabricConfig::default(), 2);
+    let addr = fabric.node(NodeId(0)).alloc(4096, 8);
+    let ep = fabric.endpoint();
+    sim.block_on(async move {
+        for i in 0..32u64 {
+            ep.write(NodeId(0), addr, vec![i as u8; 4096])
+                .await
+                .unwrap();
+            let got = ep.read(NodeId(0), addr, 4096).await.unwrap();
+            assert_eq!(got[0], i as u8);
+        }
+    });
+    let c = sim.counters();
+    assert_eq!(
+        c.boxed_events, 0,
+        "fabric delivery must stay on the closure-free timer path"
+    );
+    assert!(c.timer_events > 64, "traffic must schedule timer events");
+}
+
+#[test]
+fn write_payloads_are_shared_not_copied() {
+    // An `Op::Write` payload is Rc-shared into the fabric: the caller's
+    // buffer and the in-flight message reference the same allocation.
+    let (sim, fabric) = setup(27, FabricConfig::deterministic(), 1);
+    let addr = fabric.node(NodeId(0)).alloc(64, 8);
+    let ep = fabric.endpoint();
+    let payload: swarm_fabric::Payload = vec![0xAB; 64].into();
+    let before = Rc::strong_count(&payload);
+    let rx = ep.submit(
+        NodeId(0),
+        vec![Op::Write {
+            addr,
+            data: Rc::clone(&payload),
+        }],
+    );
+    assert!(
+        Rc::strong_count(&payload) > before,
+        "the in-flight message must share, not copy, the payload"
+    );
+    sim.block_on(async move { rx.await.unwrap() });
+    assert_eq!(fabric.node(NodeId(0)).mem().read(addr, 64), vec![0xAB; 64]);
+    assert_eq!(
+        Rc::strong_count(&payload),
+        before,
+        "delivery releases its ref"
+    );
 }

@@ -15,7 +15,8 @@ use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use swarm_core::{
-    Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock, WritePath,
+    Abd, InnOutReplica, NodeHealth, ReliableMaxReg, Rounds, SafeGuess, TsGuesser, TsLock,
+    TsLockSet, WritePath,
 };
 use swarm_fabric::Endpoint;
 use swarm_sim::{join2, GuessClock, Nanos};
@@ -210,24 +211,33 @@ impl KvClient {
                 match self.proto {
                     Proto::Abd => HandleKind::Abd(Abd::new(m, self.client_id as u8)),
                     _ => {
-                        let tsl: Vec<TsLock> = (0..cc.max_clients)
-                            .map(|w| {
-                                let words: Vec<(swarm_fabric::NodeId, u64)> = info
-                                    .replica_nodes
-                                    .iter()
-                                    .zip(&info.tsl_base)
-                                    .map(|(&n, &base)| (n, base + 8 * w as u64))
-                                    .collect();
-                                TsLock::new(
-                                    sim,
-                                    Rc::clone(&self.ep),
-                                    words,
-                                    Rc::clone(&self.health),
-                                    cc.quorum,
-                                    self.rounds.clone(),
-                                )
-                            })
-                            .collect();
+                        // Lazy per-writer locks: a cache miss stores only
+                        // this recipe; `TsLock`s materialize on the slow
+                        // paths that actually touch them (building
+                        // `max_clients` locks eagerly dominated miss cost
+                        // at 64 clients).
+                        let quorum = cc.quorum;
+                        let sim = sim.clone();
+                        let ep = Rc::clone(&self.ep);
+                        let health = Rc::clone(&self.health);
+                        let rounds = self.rounds.clone();
+                        let info = Rc::clone(info);
+                        let tsl = TsLockSet::new(cc.max_clients, move |w| {
+                            let words: Vec<(swarm_fabric::NodeId, u64)> = info
+                                .replica_nodes
+                                .iter()
+                                .zip(&info.tsl_base)
+                                .map(|(&n, &base)| (n, base + 8 * w as u64))
+                                .collect();
+                            TsLock::new(
+                                &sim,
+                                Rc::clone(&ep),
+                                words,
+                                Rc::clone(&health),
+                                quorum,
+                                rounds.clone(),
+                            )
+                        });
                         HandleKind::Sg(SafeGuess::new(
                             m,
                             Rc::new(tsl),
@@ -269,7 +279,9 @@ impl KvClient {
 
     /// Writes through a handle. `Err(Deleted)` if a tombstone rejected the
     /// write; `Err(Timeout)` if the unreplicated RAW node stopped answering.
-    async fn write_via(&self, h: &KeyHandle, value: Vec<u8>) -> KvResult<()> {
+    /// The payload arrives `Rc`-shared: retries and replica fan-out bump a
+    /// refcount instead of deep-copying the value.
+    async fn write_via(&self, h: &KeyHandle, value: Rc<Vec<u8>>) -> KvResult<()> {
         match &h.kind {
             HandleKind::Raw { node, addr, .. } => {
                 self.rounds.bump();
@@ -364,7 +376,7 @@ impl KvClient {
     /// `update` (§5.3.3): SWARM write to the located replicas; a write
     /// rejected by a tombstone flushes the cache, cleans the index mapping
     /// and retries once.
-    async fn update_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn update_inner(&self, key: u64, value: Rc<Vec<u8>>) -> KvResult<()> {
         for attempt in 0..2 {
             let Some(h) = self.handle_for(key, attempt > 0).await else {
                 return Err(KvError::NotIndexed);
@@ -398,7 +410,7 @@ impl KvClient {
     /// replicate the value *in parallel* with the index insertion — one
     /// roundtrip in the common case. If a live mapping exists, the insert
     /// turns into an update on the existing replicas.
-    async fn insert_inner(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+    async fn insert_inner(&self, key: u64, value: Rc<Vec<u8>>) -> KvResult<()> {
         // Fast path: known key -> plain update.
         if self.cache.borrow_mut().get(key).is_some()
             && self.update_inner(key, value.clone()).await.is_ok()
@@ -489,7 +501,7 @@ impl KvStore for KvClient {
         with_deadline(
             self.cluster.sim(),
             self.op_deadline_ns,
-            self.update_inner(key, value),
+            self.update_inner(key, Rc::new(value)),
         )
         .await
     }
@@ -499,7 +511,7 @@ impl KvStore for KvClient {
         with_deadline(
             self.cluster.sim(),
             self.op_deadline_ns,
-            self.insert_inner(key, value),
+            self.insert_inner(key, Rc::new(value)),
         )
         .await
     }

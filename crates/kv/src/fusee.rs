@@ -388,6 +388,9 @@ impl FuseeKv {
         let mut block = Vec::with_capacity(self.block_len() as usize);
         block.extend_from_slice(&new_version.to_le_bytes());
         block.extend_from_slice(&value);
+        // One block buffer, Rc-shared across the replica fan-out (the old
+        // code deep-copied it once per replica).
+        let block: swarm_fabric::Payload = block.into();
         let writes: Vec<_> = info
             .replica_nodes
             .iter()
@@ -397,7 +400,7 @@ impl FuseeKv {
                     n,
                     vec![Op::Write {
                         addr: info.ring_base[i] + slot * self.block_len(),
-                        data: block.clone(),
+                        data: Rc::clone(&block),
                     }],
                 )
             })

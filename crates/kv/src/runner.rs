@@ -302,14 +302,21 @@ async fn run_worker<S: KvStore>(
             sh.version += 1;
             sh.version
         };
-        let value = workload.value_for(key, version);
 
         let r0 = store.rounds();
         let t0 = sim.now();
+        // The payload is built only for mutating ops (it is pure in
+        // (key, version), so laziness cannot perturb the execution).
         let ok = match op {
             OpType::Get => matches!(store.get(key).await, Ok(Some(_))),
-            OpType::Update => store.update(key, value).await.is_ok(),
-            OpType::Insert => store.insert(key, value).await.is_ok(),
+            OpType::Update => store
+                .update(key, workload.value_for(key, version))
+                .await
+                .is_ok(),
+            OpType::Insert => store
+                .insert(key, workload.value_for(key, version))
+                .await
+                .is_ok(),
             OpType::Delete => store.delete(key).await.is_ok(),
         };
         let t1 = sim.now();

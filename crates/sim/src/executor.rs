@@ -6,15 +6,39 @@
 //! advances the virtual clock. Because ties are broken by a monotonically
 //! increasing sequence number and the only source of randomness is a seeded
 //! RNG, executions are bit-for-bit reproducible.
+//!
+//! # Hot-path design
+//!
+//! Simulations push millions of fabric messages through this loop, so the
+//! per-event and per-poll costs are engineered to be allocation-free:
+//!
+//! * **Events** live in a slab ([`EventSlot`]); the common case — "wake this
+//!   task at time T" (sleeps, message deliveries, deadlines) — is an inline
+//!   [`EventKind::Wake`] carrying a cached [`Waker`] and no heap closure.
+//!   Only the explicit [`Sim::schedule_at`] API boxes a `dyn FnOnce`.
+//! * **Ordering** uses an index-based 4-ary min-heap of `(at, seq, slab key)`
+//!   entries. Exact `(at, seq)` order is preserved, so swapping the old
+//!   `BinaryHeap<Reverse<Event>>` for this heap changes no execution.
+//! * **Wakers** are created once per task slot generation (at spawn) and
+//!   cloned per use — a non-atomic refcount bump, not an allocation. The
+//!   waker is hand-rolled over `Rc` (the only `unsafe` in the crate, see
+//!   below), so waking pushes onto a plain `RefCell<VecDeque>` ready queue
+//!   with no mutex and no atomics.
+//!
+//! # Safety of the `Rc`-backed waker
+//!
+//! `std::task::Waker` is `Send + Sync` by type, but this executor's wakers
+//! wrap an `Rc` and must never leave the thread that owns the [`Sim`]. That
+//! invariant holds throughout this workspace: `Sim` is `!Send`, spawned
+//! futures are `!Send`, and nothing hands a waker to another thread. Debug
+//! builds assert the invariant on every wake.
 
 use std::cell::{Cell, RefCell};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 use std::future::Future;
 use std::pin::Pin;
 use std::rc::Rc;
-use std::sync::{Arc, Mutex};
-use std::task::{Context, Poll, Wake, Waker};
+use std::task::{Context, Poll, RawWaker, RawWakerVTable, Waker};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -34,73 +58,251 @@ pub struct TaskId {
 
 type BoxFuture = Pin<Box<dyn Future<Output = ()>>>;
 
-/// An event scheduled at a virtual time; fired in `(at, seq)` order.
-struct Event {
-    at: Nanos,
-    seq: u64,
-    action: Box<dyn FnOnce(&Sim)>,
-}
-
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Event {}
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
-}
-
-/// Queue of tasks made runnable by wakers.
-///
-/// Wakers must be `Send + Sync`, so this little queue uses `Arc<Mutex<..>>`
-/// even though the simulation itself is single-threaded; contention is nil.
+/// Queue of tasks made runnable by wakers. Strict FIFO; single-threaded, so
+/// a `RefCell` suffices (wakers are guaranteed not to cross threads, see the
+/// module docs).
 #[derive(Default)]
 struct ReadyQueue {
-    queue: Mutex<VecDeque<TaskId>>,
+    queue: RefCell<VecDeque<TaskId>>,
 }
 
 impl ReadyQueue {
     fn push(&self, id: TaskId) {
-        self.queue.lock().unwrap().push_back(id);
+        self.queue.borrow_mut().push_back(id);
     }
     fn pop(&self) -> Option<TaskId> {
-        self.queue.lock().unwrap().pop_front()
+        self.queue.borrow_mut().pop_front()
     }
 }
 
-struct TaskWaker {
+/// Payload behind a task waker: which task to enqueue where. One `Rc` is
+/// allocated per task slot *generation* (at spawn); every `Waker` clone
+/// afterwards is a non-atomic refcount bump.
+struct WakerData {
     id: TaskId,
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
+    #[cfg(debug_assertions)]
+    thread: std::thread::ThreadId,
 }
 
-impl Wake for TaskWaker {
-    fn wake(self: Arc<Self>) {
+impl WakerData {
+    #[inline]
+    fn assert_thread(&self) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            std::thread::current().id(),
+            self.thread,
+            "a Sim waker crossed threads; the Rc-backed waker is single-threaded"
+        );
+    }
+
+    fn wake(&self) {
+        self.assert_thread();
         self.ready.push(self.id);
     }
+}
+
+fn new_task_waker(id: TaskId, ready: Rc<ReadyQueue>) -> Waker {
+    let data = Rc::new(WakerData {
+        id,
+        ready,
+        #[cfg(debug_assertions)]
+        thread: std::thread::current().id(),
+    });
+    let raw = RawWaker::new(Rc::into_raw(data) as *const (), &WAKER_VTABLE);
+    // SAFETY: the vtable below upholds the RawWaker contract over an
+    // `Rc<WakerData>` produced by `Rc::into_raw`; thread confinement is the
+    // caller's invariant (module docs) and asserted in debug builds.
+    unsafe { Waker::from_raw(raw) }
+}
+
+static WAKER_VTABLE: RawWakerVTable =
+    RawWakerVTable::new(waker_clone, waker_wake, waker_wake_by_ref, waker_drop);
+
+// SAFETY (all four): `p` is an `Rc<WakerData>` pointer from `Rc::into_raw`,
+// used on the owning thread only (asserted in debug builds on every vtable
+// entry, since the non-atomic refcount makes a cross-thread clone/drop UB
+// just like a cross-thread wake).
+unsafe fn waker_clone(p: *const ()) -> RawWaker {
+    (*(p as *const WakerData)).assert_thread();
+    Rc::increment_strong_count(p as *const WakerData);
+    RawWaker::new(p, &WAKER_VTABLE)
+}
+unsafe fn waker_wake(p: *const ()) {
+    let data = Rc::from_raw(p as *const WakerData);
+    data.wake();
+}
+unsafe fn waker_wake_by_ref(p: *const ()) {
+    let data = &*(p as *const WakerData);
+    data.wake();
+}
+unsafe fn waker_drop(p: *const ()) {
+    (*(p as *const WakerData)).assert_thread();
+    drop(Rc::from_raw(p as *const WakerData));
 }
 
 struct TaskSlot {
     gen: u64,
     fut: Option<BoxFuture>,
+    /// The slot's cached waker for the current generation; rebuilt at spawn,
+    /// cloned (refcount bump) per poll and per timer registration.
+    waker: Option<Waker>,
+}
+
+/// A scheduled event: what to do when its `(at, seq)` heap entry pops.
+enum EventKind {
+    /// Wake a stored waker — the closure-free fast path used by every timer
+    /// (sleeps, message deliveries, deadlines).
+    Wake(Waker),
+    /// Run a boxed action ([`Sim::schedule_at`]'s general case).
+    Call(Box<dyn FnOnce(&Sim)>),
+    /// A fired slot awaiting reuse.
+    Vacant,
+}
+
+/// Slab slot for one pending event. Slots are freed only when their unique
+/// heap entry pops, so a live key never has two heap entries; the generation
+/// guards [`TimerKey`] handles held by `Sleep` futures across slot reuse.
+struct EventSlot {
+    gen: u64,
+    kind: EventKind,
+}
+
+#[derive(Clone, Copy)]
+struct HeapEntry {
+    at: Nanos,
+    seq: u64,
+    key: u32,
+}
+
+#[inline]
+fn entry_less(a: &HeapEntry, b: &HeapEntry) -> bool {
+    (a.at, a.seq) < (b.at, b.seq)
+}
+
+/// Handle to a pending [`EventKind::Wake`] event, held by [`Sleep`].
+#[derive(Clone, Copy)]
+struct TimerKey {
+    key: u32,
+    gen: u64,
+}
+
+/// Slab-backed event store plus an index-based 4-ary min-heap over it,
+/// ordered by exact `(at, seq)` — the same total order the previous
+/// `BinaryHeap<Reverse<Event>>` used, so executions are unchanged.
+#[derive(Default)]
+struct EventQueue {
+    heap: Vec<HeapEntry>,
+    slots: Vec<EventSlot>,
+    free: Vec<u32>,
+}
+
+impl EventQueue {
+    fn push(&mut self, at: Nanos, seq: u64, kind: EventKind) -> TimerKey {
+        let key = match self.free.pop() {
+            Some(key) => {
+                self.slots[key as usize].kind = kind;
+                key
+            }
+            None => {
+                let key = u32::try_from(self.slots.len()).expect("event slab exhausted");
+                self.slots.push(EventSlot { gen: 0, kind });
+                key
+            }
+        };
+        self.heap.push(HeapEntry { at, seq, key });
+        self.sift_up(self.heap.len() - 1);
+        TimerKey {
+            key,
+            gen: self.slots[key as usize].gen,
+        }
+    }
+
+    fn peek_at(&self) -> Option<Nanos> {
+        self.heap.first().map(|e| e.at)
+    }
+
+    fn pop(&mut self) -> Option<(Nanos, EventKind)> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap is non-empty");
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.sift_down(0);
+        }
+        let slot = &mut self.slots[top.key as usize];
+        let kind = std::mem::replace(&mut slot.kind, EventKind::Vacant);
+        slot.gen += 1;
+        self.free.push(top.key);
+        Some((top.at, kind))
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        while i > 0 {
+            let p = (i - 1) / 4;
+            if entry_less(&e, &self.heap[p]) {
+                self.heap[i] = self.heap[p];
+                i = p;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let e = self.heap[i];
+        let n = self.heap.len();
+        loop {
+            let first = 4 * i + 1;
+            if first >= n {
+                break;
+            }
+            let mut m = first;
+            for c in first + 1..(first + 4).min(n) {
+                if entry_less(&self.heap[c], &self.heap[m]) {
+                    m = c;
+                }
+            }
+            if entry_less(&self.heap[m], &e) {
+                self.heap[i] = self.heap[m];
+                i = m;
+            } else {
+                break;
+            }
+        }
+        self.heap[i] = e;
+    }
+}
+
+/// Cheap always-on executor counters (all plain `Cell` increments), exposed
+/// via [`Sim::counters`]. Used by perf-regression tests to pin down the
+/// allocation profile of the hot path — e.g. asserting that steady-state
+/// fabric traffic schedules zero boxed closures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimCounters {
+    /// Total events scheduled (timer wakes + boxed actions).
+    pub events_scheduled: u64,
+    /// Closure-free wake-at-T events (the allocation-free fast path).
+    pub timer_events: u64,
+    /// Events that boxed a `dyn FnOnce` ([`Sim::schedule_at`]).
+    pub boxed_events: u64,
+    /// Tasks spawned.
+    pub tasks_spawned: u64,
+    /// Task polls executed.
+    pub tasks_polled: u64,
 }
 
 struct SimInner {
     now: Cell<Nanos>,
     seq: Cell<u64>,
-    events: RefCell<BinaryHeap<Reverse<Event>>>,
+    events: RefCell<EventQueue>,
     tasks: RefCell<Vec<TaskSlot>>,
     free_slots: RefCell<Vec<usize>>,
     live_tasks: Cell<usize>,
-    ready: Arc<ReadyQueue>,
+    ready: Rc<ReadyQueue>,
     rng: RefCell<SmallRng>,
+    counters: Cell<SimCounters>,
 }
 
 /// Handle to the simulation world; cheaply cloneable.
@@ -120,12 +322,13 @@ impl Sim {
             inner: Rc::new(SimInner {
                 now: Cell::new(0),
                 seq: Cell::new(0),
-                events: RefCell::new(BinaryHeap::new()),
+                events: RefCell::new(EventQueue::default()),
                 tasks: RefCell::new(Vec::new()),
                 free_slots: RefCell::new(Vec::new()),
                 live_tasks: Cell::new(0),
-                ready: Arc::new(ReadyQueue::default()),
+                ready: Rc::new(ReadyQueue::default()),
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
+                counters: Cell::new(SimCounters::default()),
             }),
         }
     }
@@ -133,6 +336,17 @@ impl Sim {
     /// Current virtual time in nanoseconds.
     pub fn now(&self) -> Nanos {
         self.inner.now.get()
+    }
+
+    /// Snapshot of the executor's event/poll counters.
+    pub fn counters(&self) -> SimCounters {
+        self.inner.counters.get()
+    }
+
+    fn bump_counters(&self, f: impl FnOnce(&mut SimCounters)) {
+        let mut c = self.inner.counters.get();
+        f(&mut c);
+        self.inner.counters.set(c);
     }
 
     /// Draws a uniformly random `u64` from the simulation RNG.
@@ -151,21 +365,62 @@ impl Sim {
         self.inner.rng.borrow_mut().random_range(lo..hi)
     }
 
-    /// Runs `action` at virtual time `at` (clamped to be no earlier than now).
-    pub fn schedule_at(&self, at: Nanos, action: impl FnOnce(&Sim) + 'static) {
-        let at = at.max(self.now());
+    fn next_seq(&self) -> u64 {
         let seq = self.inner.seq.get();
         self.inner.seq.set(seq + 1);
-        self.inner.events.borrow_mut().push(Reverse(Event {
-            at,
-            seq,
-            action: Box::new(action),
-        }));
+        seq
+    }
+
+    /// Runs `action` at virtual time `at` (clamped to be no earlier than now).
+    ///
+    /// This is the *general* (boxing) entry point; timers and message
+    /// deliveries go through the closure-free wake path instead (awaiting
+    /// [`Sim::sleep_until`] and friends).
+    pub fn schedule_at(&self, at: Nanos, action: impl FnOnce(&Sim) + 'static) {
+        let at = at.max(self.now());
+        let seq = self.next_seq();
+        self.bump_counters(|c| {
+            c.events_scheduled += 1;
+            c.boxed_events += 1;
+        });
+        self.inner
+            .events
+            .borrow_mut()
+            .push(at, seq, EventKind::Call(Box::new(action)));
     }
 
     /// Runs `action` after `delay` nanoseconds of virtual time.
     pub fn schedule_after(&self, delay: Nanos, action: impl FnOnce(&Sim) + 'static) {
         self.schedule_at(self.now() + delay, action);
+    }
+
+    /// Registers a closure-free "wake `waker` at `at`" event.
+    fn register_wake_at(&self, at: Nanos, waker: Waker) -> TimerKey {
+        let at = at.max(self.now());
+        let seq = self.next_seq();
+        self.bump_counters(|c| {
+            c.events_scheduled += 1;
+            c.timer_events += 1;
+        });
+        self.inner
+            .events
+            .borrow_mut()
+            .push(at, seq, EventKind::Wake(waker))
+    }
+
+    /// Points a pending wake event at `waker` (no-op once fired). Keeps
+    /// re-polled [`Sleep`]s waking the *latest* context, not the first one.
+    fn reregister_waker(&self, t: TimerKey, waker: &Waker) {
+        let mut events = self.inner.events.borrow_mut();
+        let slot = &mut events.slots[t.key as usize];
+        if slot.gen != t.gen {
+            return; // Already fired (and possibly recycled).
+        }
+        if let EventKind::Wake(w) = &mut slot.kind {
+            if !w.will_wake(waker) {
+                *w = waker.clone();
+            }
+        }
     }
 
     /// Spawns a task onto the executor; it starts running when `run` is
@@ -181,6 +436,7 @@ impl Sim {
                 tasks.push(TaskSlot {
                     gen: 0,
                     fut: Some(Box::pin(fut)),
+                    waker: None,
                 });
                 tasks.len() - 1
             }
@@ -189,6 +445,9 @@ impl Sim {
             idx,
             gen: tasks[idx].gen,
         };
+        tasks[idx].waker = Some(new_task_waker(id, Rc::clone(&self.inner.ready)));
+        drop(tasks);
+        self.bump_counters(|c| c.tasks_spawned += 1);
         self.inner.live_tasks.set(self.inner.live_tasks.get() + 1);
         self.inner.ready.push(id);
         id
@@ -204,7 +463,7 @@ impl Sim {
         Sleep {
             sim: self.clone(),
             deadline,
-            scheduled: false,
+            timer: None,
         }
     }
 
@@ -220,30 +479,37 @@ impl Sim {
     }
 
     fn poll_task(&self, id: TaskId) {
-        let fut = {
+        let (mut fut, waker) = {
             let mut tasks = self.inner.tasks.borrow_mut();
             let slot = &mut tasks[id.idx];
             if slot.gen != id.gen {
                 return; // Stale waker for a recycled slot.
             }
-            slot.fut.take()
+            let Some(fut) = slot.fut.take() else { return };
+            let waker = slot.waker.clone().expect("live task slot has a waker");
+            (fut, waker)
         };
-        let Some(mut fut) = fut else { return };
-        let waker = Waker::from(Arc::new(TaskWaker {
-            id,
-            ready: Arc::clone(&self.inner.ready),
-        }));
+        self.bump_counters(|c| c.tasks_polled += 1);
         let mut cx = Context::from_waker(&waker);
         match fut.as_mut().poll(&mut cx) {
             Poll::Ready(()) => {
                 let mut tasks = self.inner.tasks.borrow_mut();
                 tasks[id.idx].gen += 1;
+                tasks[id.idx].waker = None;
                 self.inner.free_slots.borrow_mut().push(id.idx);
                 self.inner.live_tasks.set(self.inner.live_tasks.get() - 1);
             }
             Poll::Pending => {
                 self.inner.tasks.borrow_mut()[id.idx].fut = Some(fut);
             }
+        }
+    }
+
+    fn fire(&self, kind: EventKind) {
+        match kind {
+            EventKind::Wake(w) => w.wake(),
+            EventKind::Call(f) => f(self),
+            EventKind::Vacant => {}
         }
     }
 
@@ -259,10 +525,10 @@ impl Sim {
             // Advance time to the next event.
             let ev = self.inner.events.borrow_mut().pop();
             match ev {
-                Some(Reverse(ev)) => {
-                    debug_assert!(ev.at >= self.now());
-                    self.inner.now.set(ev.at);
-                    (ev.action)(self);
+                Some((at, kind)) => {
+                    debug_assert!(at >= self.now());
+                    self.inner.now.set(at);
+                    self.fire(kind);
                 }
                 None => return self.now(),
             }
@@ -276,12 +542,12 @@ impl Sim {
             while let Some(id) = self.inner.ready.pop() {
                 self.poll_task(id);
             }
-            let next_at = self.inner.events.borrow().peek().map(|Reverse(ev)| ev.at);
+            let next_at = self.inner.events.borrow().peek_at();
             match next_at {
                 Some(at) if at <= deadline => {
-                    let Reverse(ev) = self.inner.events.borrow_mut().pop().unwrap();
-                    self.inner.now.set(ev.at);
-                    (ev.action)(self);
+                    let (at, kind) = self.inner.events.borrow_mut().pop().expect("event peeked");
+                    self.inner.now.set(at);
+                    self.fire(kind);
                 }
                 _ => return self.now(),
             }
@@ -311,10 +577,23 @@ impl Sim {
 }
 
 /// Future returned by [`Sim::sleep_until`].
+///
+/// Registers one closure-free wake event on first poll; later polls from a
+/// different context re-point the event at the *latest* waker (so `Sleep` is
+/// safe inside `select`-style combinators that migrate futures between
+/// contexts).
+///
+/// Dropping a `Sleep` does **not** cancel the wake: the event still fires at
+/// the deadline and wakes the registered waker (a gen-guarded no-op if the
+/// task has completed, a spurious poll if it is still running). This mirrors
+/// the pre-slab executor, whose dropped sleeps left their scheduled closure
+/// behind — suppressing those spurious wakes would change how simultaneous
+/// events interleave within one virtual instant and break bit-identical
+/// replay of seeded runs.
 pub struct Sleep {
     sim: Sim,
     deadline: Nanos,
-    scheduled: bool,
+    timer: Option<TimerKey>,
 }
 
 impl Future for Sleep {
@@ -324,11 +603,12 @@ impl Future for Sleep {
         if self.sim.now() >= self.deadline {
             return Poll::Ready(());
         }
-        if !self.scheduled {
-            self.scheduled = true;
-            let waker = cx.waker().clone();
-            let deadline = self.deadline;
-            self.sim.schedule_at(deadline, move |_| waker.wake());
+        match self.timer {
+            Some(t) => self.sim.reregister_waker(t, cx.waker()),
+            None => {
+                let t = self.sim.register_wake_at(self.deadline, cx.waker().clone());
+                self.timer = Some(t);
+            }
         }
         Poll::Pending
     }
@@ -480,5 +760,115 @@ mod tests {
             (0..8).map(|_| sim.rand_u64()).collect()
         };
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sleeps_schedule_no_boxed_closures() {
+        // The wake-at-T fast path must stay allocation-free: no boxed
+        // `dyn FnOnce` per sleep, one inline timer event each.
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.block_on(async move {
+            for _ in 0..100 {
+                s.sleep_ns(10).await;
+            }
+        });
+        let c = sim.counters();
+        assert_eq!(c.boxed_events, 0, "sleeps must not box closures");
+        assert_eq!(c.timer_events, 100);
+        assert_eq!(c.events_scheduled, 100);
+        assert!(c.tasks_polled >= 101, "one poll per wake plus the first");
+        assert_eq!(c.tasks_spawned, 1);
+    }
+
+    #[test]
+    fn schedule_at_counts_as_boxed_event() {
+        let sim = Sim::new(1);
+        sim.schedule_after(5, |_| {});
+        sim.run();
+        let c = sim.counters();
+        assert_eq!(c.boxed_events, 1);
+        assert_eq!(c.timer_events, 0);
+    }
+
+    #[test]
+    fn dropped_sleep_still_advances_time_on_run() {
+        // A dropped Sleep's event stays armed: it must keep advancing
+        // virtual time (and spuriously wake its task, a no-op here since the
+        // task is gone), exactly like the stale closure the pre-slab
+        // executor left behind — so `run()` end times stay bit-identical.
+        let sim = Sim::new(1);
+        let s = sim.clone();
+        sim.spawn(async move {
+            let long = s.sleep_ns(10_000);
+            let short = s.sleep_ns(100);
+            match crate::combinators::race2(long, short).await {
+                crate::combinators::Either::Right(()) => {}
+                crate::combinators::Either::Left(()) => panic!("short sleep lost the race"),
+            }
+            // `long` is dropped here; its event remains queued.
+        });
+        let end = sim.run();
+        assert_eq!(end, 10_000, "cancelled timer entry must advance the clock");
+    }
+
+    #[test]
+    fn sleep_wakes_the_latest_waker_after_repoll() {
+        // Regression for waker staleness: a Sleep first polled inside task A
+        // and then moved to (and re-polled by) task B must wake *B* at the
+        // deadline. The old executor captured A's waker forever, leaving B
+        // asleep and the simulation deadlocked.
+        struct PollOnceThenStash {
+            sleep: Option<Sleep>,
+            stash: Rc<RefCell<Option<Sleep>>>,
+        }
+        impl Future for PollOnceThenStash {
+            type Output = ();
+            fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                let mut sl = self.sleep.take().expect("polled once");
+                let _ = Pin::new(&mut sl).poll(cx); // registers task A's waker
+                *self.stash.borrow_mut() = Some(sl);
+                Poll::Ready(())
+            }
+        }
+
+        let sim = Sim::new(1);
+        let stash: Rc<RefCell<Option<Sleep>>> = Rc::new(RefCell::new(None));
+        let sleep = sim.sleep_ns(1_000);
+        sim.spawn(PollOnceThenStash {
+            sleep: Some(sleep),
+            stash: Rc::clone(&stash),
+        });
+        let stash2 = Rc::clone(&stash);
+        let s = sim.clone();
+        let done = Rc::new(Cell::new(false));
+        let done2 = Rc::clone(&done);
+        sim.spawn(async move {
+            // Runs at the same instant, after task A stashed the Sleep.
+            let sl = stash2.borrow_mut().take().expect("task A stashed it");
+            sl.await;
+            assert_eq!(s.now(), 1_000);
+            done2.set(true);
+        });
+        sim.run();
+        assert!(done.get(), "task B never woke: stale waker used");
+    }
+
+    #[test]
+    fn four_ary_heap_matches_binary_heap_order() {
+        // Exhaustive-ish shuffle test: the 4-ary heap must pop in exact
+        // (at, seq) order for adversarial insertion patterns.
+        let sim = Sim::new(123);
+        let fired: Rc<RefCell<Vec<(Nanos, u64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut expected = Vec::new();
+        for i in 0..500u64 {
+            let at = sim.rand_range(0, 50); // many ties -> seq ordering
+            expected.push((at, i));
+            let fired = Rc::clone(&fired);
+            sim.schedule_at(at, move |s| fired.borrow_mut().push((s.now(), i)));
+        }
+        sim.run();
+        expected.sort();
+        assert_eq!(*fired.borrow(), expected);
     }
 }

@@ -12,7 +12,18 @@
 //! * **Determinism.** A given seed produces a bit-identical execution, so every
 //!   figure in the evaluation is exactly reproducible and failing schedules
 //!   found by property tests can be replayed.
-//! * **No `unsafe`.** Wakers are built from [`std::task::Wake`] over `Arc`.
+//! * **Allocation-free hot path.** Timers ("wake this task at time T") are
+//!   inline slab entries — no boxed closure per event; task wakers are built
+//!   once per spawn and cloned per poll (a non-atomic refcount bump); the
+//!   ready queue is a plain `RefCell<VecDeque>` with no mutex. See
+//!   [`Sim::counters`] for the always-on accounting the perf-regression
+//!   tests pin these properties with.
+//! * **Minimal `unsafe`.** Exactly one unsafe construct: the executor's task
+//!   `Waker` is hand-rolled over `Rc` (see `executor.rs`) so the
+//!   single-threaded hot path pays no atomics. Soundness relies on the
+//!   simulation being single-threaded — `Sim` and all spawned futures are
+//!   `!Send`, and wakers must never cross threads (asserted in debug
+//!   builds on every wake).
 //! * **Microsecond fidelity.** Virtual time is in nanoseconds; latency models
 //!   live in `swarm-fabric`, but the primitives (timers, FIFO resources,
 //!   jitter distributions) live here.
@@ -45,7 +56,7 @@ pub use combinators::{
     join2, join_all, join_boxed, race2, timeout_at, BoxFuture, Either, Quorum, TimedOut,
 };
 pub use dist::Jitter;
-pub use executor::{Sim, Sleep, TaskId, YieldNow};
+pub use executor::{Sim, SimCounters, Sleep, TaskId, YieldNow};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use resource::FifoResource;
 pub use stats::{Histogram, OnlineStats, TimeSeries};

@@ -10,7 +10,7 @@ use std::rc::Rc;
 
 use swarm_core::{
     InnOutLayout, InnOutReplica, NodeHealth, QuorumConfig, ReliableMaxReg, Rounds, SafeGuess,
-    TsGuesser, TsLock, WritePath,
+    TsGuesser, TsLock, TsLockSet, WritePath,
 };
 use swarm_fabric::{Fabric, FabricConfig, NodeId};
 use swarm_sim::{GuessClock, Sim};
@@ -63,7 +63,7 @@ fn make_register(
     let clock = Rc::new(GuessClock::new(sim, skew_ns, 10.0, skew_ns / 2 + 1));
     SafeGuess::new(
         m,
-        Rc::new(tsl),
+        Rc::new(TsLockSet::eager(tsl)),
         Rc::new(TsGuesser::new(clock, tid as u8)),
         rounds,
     )

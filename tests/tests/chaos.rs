@@ -188,41 +188,67 @@ fn run_chaos(proto: Protocol, kind: PlanKind, seed: u64) -> (KvHistory, TrafficS
 }
 
 /// The headline sweep: seeds × fault plans × all four protocols; every
-/// surviving history must linearize.
+/// surviving history must linearize. Cells are independent seeded
+/// simulations, so they run on `SWARM_BENCH_THREADS` worker threads through
+/// the bench sweep driver and are asserted in deterministic cell order.
 #[test]
 fn all_protocols_stay_linearizable_under_every_fault_plan() {
-    let mut cells = 0;
+    let mut cells = Vec::new();
     for proto in Protocol::all() {
         for kind in PlanKind::all() {
             for seed in chaos_seeds() {
-                let (h, stats, plan) = run_chaos(proto, kind, seed);
-                assert_eq!(
-                    h.len() as u64,
-                    CLIENTS as u64 * OPS_PER_CLIENT,
-                    "{} / {kind:?} / seed {seed}: ops lost from the history",
-                    proto.name()
-                );
-                assert!(
-                    stats.messages > 0,
-                    "{} / {kind:?} / seed {seed}: no traffic",
-                    proto.name()
-                );
-                if let Err(e) = h.check() {
-                    panic!(
-                        "{} is NOT linearizable under {kind:?}, seed {seed}: {e}\n\
-                         ({} of {} ops completed unambiguously)\nfault plan:\n{}",
-                        proto.name(),
-                        h.definite_ops(),
-                        h.len(),
-                        plan,
-                    );
-                }
-                cells += 1;
+                cells.push((proto, kind, seed));
             }
         }
     }
+    let results = swarm_bench::sweep(&cells, |&(proto, kind, seed)| run_chaos(proto, kind, seed));
+    for ((proto, kind, seed), (h, stats, plan)) in cells.iter().zip(results) {
+        assert_eq!(
+            h.len() as u64,
+            CLIENTS as u64 * OPS_PER_CLIENT,
+            "{} / {kind:?} / seed {seed}: ops lost from the history",
+            proto.name()
+        );
+        assert!(
+            stats.messages > 0,
+            "{} / {kind:?} / seed {seed}: no traffic",
+            proto.name()
+        );
+        if let Err(e) = h.check() {
+            panic!(
+                "{} is NOT linearizable under {kind:?}, seed {seed}: {e}\n\
+                 ({} of {} ops completed unambiguously)\nfault plan:\n{}",
+                proto.name(),
+                h.definite_ops(),
+                h.len(),
+                plan,
+            );
+        }
+    }
     // 4 protocols x 5 plans x >=2 seeds.
-    assert!(cells >= 40, "sweep shrank: {cells} cells");
+    assert!(cells.len() >= 40, "sweep shrank: {} cells", cells.len());
+}
+
+/// The threaded sweep must be invisible in the results: running the same
+/// chaos cells on several worker threads yields bit-identical histories,
+/// traffic counters, and fault plans, cell for cell, as the sequential run.
+#[test]
+fn threaded_chaos_sweep_matches_sequential_cell_for_cell() {
+    let cells: Vec<_> = Protocol::all()
+        .into_iter()
+        .flat_map(|p| [(p, PlanKind::Random, 5u64), (p, PlanKind::JitterAndDrop, 6)])
+        .collect();
+    let run = |&(proto, kind, seed): &(Protocol, PlanKind, u64)| run_chaos(proto, kind, seed);
+    let sequential = swarm_bench::sweep_on(1, &cells, run);
+    let threaded = swarm_bench::sweep_on(4, &cells, run);
+    for (((proto, kind, seed), s), t) in cells.iter().zip(&sequential).zip(&threaded) {
+        assert_eq!(
+            s,
+            t,
+            "{} / {kind:?} / seed {seed}: threaded sweep diverged from sequential",
+            proto.name()
+        );
+    }
 }
 
 /// Determinism guard for the whole harness: the same `(workload seed, fault

@@ -191,3 +191,67 @@ fn deletes_are_visible_across_clients_with_stale_caches() {
         assert!(b.update(1, vec![9u8; 64]).await.is_err());
     });
 }
+
+#[test]
+fn steady_state_kv_traffic_schedules_no_boxed_closures() {
+    // Location-cache misses pay index roundtrips (which legitimately use
+    // boxed scheduled actions), but cached steady-state gets/updates must
+    // ride the executor's closure-free timer path end to end — this is the
+    // allocation profile the hot-path figures run in.
+    let sim = Sim::new(11);
+    let c = cluster(&sim, Protocol::SafeGuess, 64);
+    let a = c.client(0);
+    let sim2 = sim.clone();
+    sim.block_on(async move {
+        // Warm the location cache (index misses box closures; that's fine).
+        for k in 0..64 {
+            assert!(a.get(k).await.unwrap().is_some());
+        }
+        let boxed_before = sim2.counters().boxed_events;
+        let timers_before = sim2.counters().timer_events;
+        for i in 0..256u64 {
+            let k = i % 64;
+            a.update(k, vec![i as u8; 64]).await.unwrap();
+            assert!(a.get(k).await.unwrap().is_some());
+        }
+        let after = sim2.counters();
+        assert_eq!(
+            after.boxed_events, boxed_before,
+            "cached steady-state KV ops must not schedule boxed closures"
+        );
+        assert!(after.timer_events > timers_before, "ops must use timers");
+    });
+}
+
+#[test]
+fn seed_sweep_reruns_are_bit_identical() {
+    // ≥4 seeds, each executed twice: traffic counters, measured latency
+    // bits, final virtual time, and the executor's event/poll counters (a
+    // proxy for the exact event firing order) must all reproduce exactly.
+    let run = |seed: u64| {
+        let sim = Sim::new(seed);
+        let c = cluster(&sim, Protocol::SafeGuess, 128);
+        let clients = c.clients(2);
+        let stats = run_workload(
+            &sim,
+            &clients,
+            &Workload::ycsb(WorkloadSpec::B, 128, 64),
+            &RunConfig {
+                warmup_ops: 50,
+                measure_ops: 600,
+                ..Default::default()
+            },
+        );
+        (
+            stats.measured_ops,
+            stats.end_ns,
+            stats.lat(OpType::Get).mean().to_bits(),
+            stats.lat(OpType::Update).mean().to_bits(),
+            c.fabric().stats(),
+            sim.counters(),
+        )
+    };
+    for seed in [42u64, 43, 44, 45, 46] {
+        assert_eq!(run(seed), run(seed), "seed {seed} diverged across reruns");
+    }
+}
