@@ -1,39 +1,93 @@
 #!/usr/bin/env sh
-# CI gate: formatting, lints (warnings are errors), then the tier-1 verify.
+# Staged CI gate.
+#
+#   ./ci.sh           full gate: fmt, clippy, debug tests, rustdoc lints,
+#                     release build, release chaos sweep, perf smoke
+#   ./ci.sh --quick   quick gate: fmt + clippy + debug tests only — no
+#                     release binaries are built (runs on every push; the
+#                     full gate runs as CI's second job, see
+#                     .github/workflows/ci.yml)
+#
+# Every stage reports its wall time; a summary table prints at the end.
+# Perf-smoke stages carry a wall-time budget (~10x the expected time, so
+# only order-of-magnitude regressions or hangs trip them) and print
+# measured vs. budget either way.
 set -eu
 
-echo "== cargo fmt --check"
-cargo fmt --check
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "usage: ci.sh [--quick]" >&2; exit 2 ;;
+    esac
+done
 
-echo "== cargo clippy --all-targets (deny warnings)"
-cargo clippy --all-targets -- -D warnings
+REPORT=""
+record() { # record <name> <seconds>
+    REPORT="${REPORT}$(printf '  %-18s %5ss' "$1" "$2")
+"
+}
 
-echo "== cargo doc --no-deps (deny rustdoc warnings)"
-RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+stage() { # stage <name> <cmd...>
+    _name=$1; shift
+    echo "== $_name"
+    _start=$(date +%s)
+    "$@"
+    _took=$(( $(date +%s) - _start ))
+    echo "-- $_name: ${_took}s"
+    record "$_name" "$_took"
+}
 
-echo "== cargo build --release"
-cargo build --release
+perf_stage() { # perf_stage <name> <budget_seconds> <cmd...>
+    _name=$1; _budget=$2; shift 2
+    echo "== perf: $_name (budget ${_budget}s)"
+    _start=$(date +%s)
+    _rc=0
+    timeout "$_budget" "$@" > /dev/null || _rc=$?
+    _took=$(( $(date +%s) - _start ))
+    if [ "$_rc" -eq 0 ]; then
+        echo "-- perf $_name: measured ${_took}s of ${_budget}s budget"
+        record "perf:$_name" "$_took"
+    elif [ "$_rc" -eq 124 ]; then
+        echo "FAIL perf $_name: measured >= ${_took}s (killed at budget); budget ${_budget}s" >&2
+        exit 1
+    else
+        echo "FAIL perf $_name: exit code $_rc after ${_took}s (budget ${_budget}s)" >&2
+        exit 1
+    fi
+}
 
-echo "== cargo test -q"
-cargo test -q
+stage fmt    cargo fmt --check
+stage clippy cargo clippy --all-targets -- -D warnings
+stage test   cargo test -q
+
+if [ "$QUICK" -eq 1 ]; then
+    echo
+    echo "CI QUICK OK"
+    printf '%s' "$REPORT"
+    exit 0
+fi
+
+stage doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+stage build-release cargo build --release
 
 # The chaos suite already ran once above with the pinned quick set; this
 # release-mode pass widens the sweep. SWARM_CHAOS_SEEDS controls seeds per
 # (protocol, fault-plan) cell — export a bigger N for deeper local hunts
 # (see TESTING.md).
-echo "== chaos suite (release, SWARM_CHAOS_SEEDS=${SWARM_CHAOS_SEEDS:-8})"
-SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
+stage chaos-release env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
     cargo test --release -q -p swarm-tests --test chaos
 
-# Perf smoke: quick fig5 single-threaded and a 2-thread fig8 sweep, volume-
-# scaled, under generous wall-time budgets. Guards the event loop (fig5 runs
-# full quick volume, ~4 s at the PR-4 baseline) and the threaded sweep
-# driver from silent regressions; budgets are ~10x the expected times so
-# only order-of-magnitude regressions (or hangs) trip them.
-echo "== perf smoke (fig5 quick <60s; fig8 sweep, 2 threads, scaled, <120s)"
+# Perf smoke: quick fig5 single-threaded, a 2-thread fig8 sweep, and the
+# sharded-router scale bench, all volume-scaled, under generous budgets.
+# Guards the event loop (fig5 runs full quick volume), the threaded sweep
+# driver, and the cross-shard router hot path from silent regressions.
 BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
-SWARM_BENCH_THREADS=1 timeout 60 "$BIN_DIR/fig5" > /dev/null
-SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 timeout 120 \
-    "$BIN_DIR/fig8" > /dev/null
+perf_stage fig5 60 env SWARM_BENCH_THREADS=1 "$BIN_DIR/fig5"
+perf_stage fig8 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 "$BIN_DIR/fig8"
+perf_stage bench_shards 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 \
+    "$BIN_DIR/bench_shards"
 
+echo
 echo "CI OK"
+printf '%s' "$REPORT"

@@ -1,0 +1,154 @@
+//! Sharded-keyspace scale bench (beyond the paper): aggregate throughput
+//! and per-shard load imbalance as the keyspace partitions over 1→16
+//! shards, under a uniform workload and the YCSB Zipfian (.99) hot-key mix.
+//!
+//! The sweep is *weak scaling* — client threads grow with the shard count
+//! (a fixed count per shard) because that is exactly what sharding buys: a
+//! single replica group saturates its switch fabric near the paper's
+//! Figure 8 peak, while S shards offer S independent fabrics. Each cell
+//! reports aggregate throughput, per-thread throughput, scaling efficiency
+//! versus the 1-shard cell, and the per-shard routed-op imbalance
+//! (max/mean; 1.00 = perfectly balanced). Under Zipfian .99 the hottest
+//! key alone draws ~8% of all traffic, so whichever shard owns it becomes
+//! the hot shard — visible directly in the imbalance column.
+//!
+//! Default is a quick mode over a 2^17-key space; `--full` loads the
+//! million-key space (memory scales with clients × keys — the 16-shard
+//! full cell wants tens of GB, so prefer `SWARM_BENCH_THREADS=1` there).
+//! Every `(shards, distribution)` cell is an independent seeded
+//! simulation; the sweep runs them on `SWARM_BENCH_THREADS` OS threads and
+//! merges in cell order, so all numbers are bit-identical at any thread
+//! count.
+
+use swarm_bench::{build_sharded, run_workload, sweep, write_csv, ExpParams, Protocol};
+use swarm_workload::{WorkloadSpec, Zipfian};
+
+/// Client threads (routers) per shard: enough that a single group runs
+/// close to its fabric's saturation knee, so added shards buy throughput.
+const CLIENTS_PER_SHARD: usize = 6;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Dist {
+    Uniform,
+    Zipfian99,
+}
+
+impl Dist {
+    fn name(self) -> &'static str {
+        match self {
+            Dist::Uniform => "uniform",
+            Dist::Zipfian99 => "zipf.99",
+        }
+    }
+}
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    let n_keys: u64 = if quick { 1 << 17 } else { 1 << 20 };
+    let shard_counts: [usize; 5] = [1, 2, 4, 8, 16];
+
+    let mut cells = Vec::new();
+    for dist in [Dist::Uniform, Dist::Zipfian99] {
+        for &shards in &shard_counts {
+            cells.push((dist, shards));
+        }
+    }
+
+    let results = sweep(&cells, |&(dist, shards)| {
+        let clients = CLIENTS_PER_SHARD * shards;
+        let p = ExpParams {
+            n_keys,
+            clients,
+            shards,
+            // One metadata buffer per client would dominate the per-key
+            // footprint at 96 clients; pin the paper's 4-client default.
+            meta_bufs: Some(4),
+            warmup_ops: 500 * clients as u64,
+            measure_ops: 1_500 * clients as u64,
+            ..Default::default()
+        };
+        let sim = swarm_sim::Sim::new(p.seed);
+        let bed = build_sharded(&sim, Protocol::SafeGuess, &p);
+        let mut workload = p.workload(WorkloadSpec::B);
+        if dist == Dist::Uniform {
+            workload.keys = Zipfian::uniform(workload.keys.n());
+        }
+        let stats = run_workload(&sim, &bed.routers, &workload, &p.run_config());
+
+        // Per-shard routed-op counts, summed over routers.
+        let mut routed = vec![0u64; shards];
+        for r in &bed.routers {
+            for (s, n) in r.routed_per_shard().into_iter().enumerate() {
+                routed[s] += n;
+            }
+        }
+        let max_over_mean = |counts: &[u64]| {
+            let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
+            counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0)
+        };
+        let imbalance = max_over_mean(&routed);
+        // The fabric-level view of the same skew: message counts include
+        // retries and replica fan-out, so a hot shard's extra quorum
+        // traffic shows up here even when op routing alone would hide it.
+        let per_shard_msgs: Vec<u64> = bed
+            .cluster
+            .per_shard_stats()
+            .iter()
+            .map(|s| s.messages)
+            .collect();
+        let msg_imbalance = max_over_mean(&per_shard_msgs);
+        (
+            stats.throughput_ops() / 1e6,
+            stats.measured_ops,
+            imbalance,
+            msg_imbalance,
+        )
+    });
+
+    let mut results = results.into_iter();
+    for dist in [Dist::Uniform, Dist::Zipfian99] {
+        println!(
+            "bench_shards: SWARM-KV, YCSB B mix, {} distribution, {} keys, \
+             {CLIENTS_PER_SHARD} clients/shard",
+            dist.name(),
+            n_keys
+        );
+        println!(
+            "{:>7} {:>8} {:>11} {:>13} {:>9} {:>11} {:>11}",
+            "shards", "clients", "tput_Mops", "per_client_k", "scale_eff", "op_imbal", "msg_imbal"
+        );
+        let mut rows = Vec::new();
+        let mut base_per_client = 0.0;
+        for &shards in &shard_counts {
+            let (tput, measured, imbalance, msg_imbalance) =
+                results.next().expect("one result per cell");
+            let clients = CLIENTS_PER_SHARD * shards;
+            let per_client = tput * 1e3 / clients as f64;
+            if shards == 1 {
+                base_per_client = per_client;
+            }
+            // Weak-scaling efficiency: per-client throughput retained
+            // relative to the 1-shard cell.
+            let eff = per_client / base_per_client;
+            println!(
+                "{:>7} {:>8} {:>11.2} {:>13.1} {:>9.2} {:>10.2}x {:>10.2}x",
+                shards, clients, tput, per_client, eff, imbalance, msg_imbalance
+            );
+            rows.push(format!(
+                "{shards},{clients},{tput:.4},{per_client:.2},{eff:.3},{imbalance:.3},\
+                 {msg_imbalance:.3},{measured}"
+            ));
+        }
+        write_csv(
+            "bench_shards",
+            dist.name(),
+            "shards,clients,tput_mops,per_client_kops,scale_eff,op_imbalance,msg_imbalance,measured_ops",
+            &rows,
+        );
+        println!();
+    }
+    println!("expectation: uniform throughput grows ~linearly with shards (weak");
+    println!("scaling past one fabric's saturation); Zipfian .99 concentrates ~8%");
+    println!("of ops on the hot key's shard, so imbalance rises well above 1.0x");
+    println!("and hot-shard queuing taxes the aggregate.");
+}

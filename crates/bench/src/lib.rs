@@ -17,13 +17,17 @@
 //! | `fig13` | number of In-n-Out metadata buffers |
 //!
 //! Beyond the paper, `bench_multiget` measures the batch-size-vs-latency
-//! scaling of the pipelined `KvStoreExt` multi-ops.
+//! scaling of the pipelined `KvStoreExt` multi-ops, and `bench_shards`
+//! sweeps the sharded keyspace (1→16 shards × {uniform, Zipfian .99}),
+//! reporting aggregate-throughput weak scaling and per-shard load
+//! imbalance.
 //!
 //! Binaries accept `--full` for paper-scale op counts (default is a quick
 //! mode sized to finish in seconds each) and print the same rows/series the
 //! paper reports, plus CSVs under `target/experiments/`.
 //!
-//! The long sweep binaries (`fig7`–`fig9`, `fig13`) run their independent
+//! The long sweep binaries (`fig7`–`fig9`, `fig13`, `bench_shards`) run
+//! their independent
 //! `(seed, config)` cells on `SWARM_BENCH_THREADS` OS threads (default: all
 //! cores) via [`sweep`]; results are merged in deterministic cell order, so
 //! every number is identical at any thread count.
@@ -39,12 +43,17 @@ use std::io::Write as _;
 use std::rc::Rc;
 
 use swarm_kv::{
-    CacheCapacity, KvStore, RunConfig, RunStats, StoreBuilder, StoreClient, StoreCluster,
+    CacheCapacity, KvStore, RunConfig, RunStats, ShardRouter, ShardedCluster, StoreBuilder,
+    StoreClient, StoreCluster,
 };
 use swarm_sim::{Histogram, Sim};
 use swarm_workload::{OpType, Workload, WorkloadSpec};
 
 pub use swarm_kv::{run_workload, Protocol};
+// The warn-once env-knob convention shared by every harness variable
+// (`SWARM_BENCH_OPS_SCALE`, `SWARM_BENCH_THREADS`, `SWARM_CHAOS_SEEDS`);
+// defined beside the runner because `ops_scale` sits below this crate.
+pub use swarm_kv::{env_knob, parse_knob};
 
 /// Common experiment parameters (defaults follow §7: 3 replicas, 100 K keys,
 /// 64 B values, 4 clients, warm-up then measurement).
@@ -73,6 +82,9 @@ pub struct ExpParams {
     pub measure_ops: u64,
     /// Location-cache entries per client (`None` = unbounded).
     pub cache_entries: Option<usize>,
+    /// Keyspace shards (1 = the paper's single replica group; more builds
+    /// a `ShardedCluster` driven through cross-shard routers).
+    pub shards: usize,
 }
 
 impl Default for ExpParams {
@@ -89,6 +101,7 @@ impl Default for ExpParams {
             warmup_ops: 50_000,
             measure_ops: 100_000,
             cache_entries: None,
+            shards: 1,
         }
     }
 }
@@ -105,9 +118,12 @@ impl ExpParams {
 
     /// The [`StoreBuilder`] for this experiment and system (protocol
     /// invariants — RAW unreplicated, DM-ABD out-of-place — are pinned by
-    /// the builder itself).
+    /// the builder itself). Carries `shards` too, so a multi-shard
+    /// `ExpParams` fed to the unsharded [`build`] fails loudly instead of
+    /// silently running one replica group.
     pub fn builder(&self, sys: Protocol) -> StoreBuilder {
         StoreBuilder::new(sys)
+            .shards(self.shards)
             .value_size(self.value_size)
             .replicas(self.replicas)
             .max_clients(self.clients.max(1))
@@ -177,6 +193,35 @@ fn apply_hyperthreading(n: usize, endpoints: impl Iterator<Item = Rc<swarm_fabri
             ep.set_cpu_scale(1.5);
         }
     }
+}
+
+/// A fully built *sharded* system under test: N independent shard clusters
+/// plus one cross-shard router per client thread.
+pub struct ShardedTestbed {
+    /// The sharded cluster (per-shard fabrics, indexes, memberships).
+    pub cluster: ShardedCluster,
+    /// One router per client thread, each with a client on every shard
+    /// sharing that thread's CPU core.
+    pub routers: Vec<Rc<ShardRouter>>,
+}
+
+/// Builds (and bulk-loads) one sharded system under test: `p.shards`
+/// independent shard clusters, `p.clients` routers.
+pub fn build_sharded(sim: &Sim, sys: Protocol, p: &ExpParams) -> ShardedTestbed {
+    let n_keys = env_scaled_keys(p.n_keys);
+    let wl = p.workload(WorkloadSpec::C);
+    let cluster = p.builder(sys).build_sharded(sim);
+    cluster.load_keys(n_keys, |k| wl.value_for(k, 0));
+    let routers = cluster.routers(p.clients);
+    // Hyperthread sharing taxes every endpoint a crowded thread submits
+    // through — a router has one per shard, all on its one core.
+    apply_hyperthreading(
+        p.clients,
+        routers
+            .iter()
+            .flat_map(|r| (0..cluster.num_shards()).map(move |s| r.shard_client(s).endpoint())),
+    );
+    ShardedTestbed { cluster, routers }
 }
 
 /// Builds, runs the workload, and returns the stats (plus the sim and the

@@ -12,30 +12,18 @@
 //! cell closure must return only `Send` data (row strings, summary numbers);
 //! the `Sim` and everything built on it stay confined to the worker thread.
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// The sweep thread count: `SWARM_BENCH_THREADS` if set (a positive
-/// integer), otherwise the number of available cores. An unparsable value is
-/// ignored with a one-time warning (same convention as
-/// `SWARM_BENCH_OPS_SCALE`).
+/// integer), otherwise the number of available cores. An unparsable value
+/// is ignored with a one-time warning (the shared `swarm_kv::env_knob`
+/// convention, same as `SWARM_BENCH_OPS_SCALE` and `SWARM_CHAOS_SEEDS`).
 pub fn sweep_threads() -> usize {
-    match std::env::var("SWARM_BENCH_THREADS") {
-        Err(_) => default_threads(),
-        Ok(raw) => match raw.parse::<usize>() {
-            Ok(n) if n >= 1 => n,
-            _ => {
-                static WARNED: AtomicBool = AtomicBool::new(false);
-                if !WARNED.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "warn: ignoring SWARM_BENCH_THREADS={raw:?}: \
-                         expected a positive integer like 8"
-                    );
-                }
-                default_threads()
-            }
-        },
-    }
+    swarm_kv::env_knob("SWARM_BENCH_THREADS", "a positive integer like 8", |n| {
+        *n >= 1
+    })
+    .unwrap_or_else(default_threads)
 }
 
 fn default_threads() -> usize {

@@ -31,6 +31,13 @@ pub struct FabricConfig {
     /// traffic serializes through this resource; it is what saturates in the
     /// 64-client scalability experiment (§7.3).
     pub switch_bytes_per_ns: f64,
+    /// RNG stream for this fabric's per-message draws (wire jitter, fault
+    /// drop rolls). `None` (the default) uses the simulation's shared
+    /// stream — the historical behavior. `Some(label)` forks a private
+    /// stream from `(sim seed, label)` so this fabric's draws cannot
+    /// perturb — and are unperturbed by — any other subsystem; sharded
+    /// clusters give every shard its own label (see `swarm_sim::SimRng`).
+    pub rng_label: Option<u64>,
 }
 
 impl Default for FabricConfig {
@@ -45,6 +52,7 @@ impl Default for FabricConfig {
             mem_bytes_per_ns: 25.0,
             header_bytes: 30,
             switch_bytes_per_ns: 12.5,
+            rng_label: None,
         }
     }
 }

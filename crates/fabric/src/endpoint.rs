@@ -135,7 +135,8 @@ impl Endpoint {
             // 2. Uplink: serialize through the shared switch, then propagate
             // (an active delay spike on the destination stretches the wire).
             let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(req_bytes));
-            let mut arrival = ser_end + cfg.wire.sample(&sim2) + fabric.fault_extra_ns(node);
+            let mut arrival =
+                ser_end + cfg.wire.sample_rng(&fabric.inner.rng) + fabric.fault_extra_ns(node);
             // Enforce FIFO on this queue pair.
             arrival = arrival.max(qp.get() + 1);
             qp.set(arrival);
@@ -205,7 +206,8 @@ impl Endpoint {
 
             // 5. Downlink.
             let (_, ser_end) = fabric.inner.switch.reserve(cfg.link_ns(resp_bytes));
-            let back = ser_end + cfg.wire.sample(&sim2) + fabric.fault_extra_ns(node);
+            let back =
+                ser_end + cfg.wire.sample_rng(&fabric.inner.rng) + fabric.fault_extra_ns(node);
             sim2.sleep_until(back).await;
             tx.send(results);
         });

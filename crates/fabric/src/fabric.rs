@@ -3,7 +3,7 @@
 use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
-use swarm_sim::{FifoResource, Nanos, OneshotSender, Sim};
+use swarm_sim::{FifoResource, Nanos, OneshotSender, Sim, SimRng};
 
 use crate::config::FabricConfig;
 use crate::endpoint::Endpoint;
@@ -19,6 +19,16 @@ pub struct TrafficStats {
     pub messages: u64,
     /// Total request + response bytes.
     pub bytes: u64,
+}
+
+impl std::ops::AddAssign for TrafficStats {
+    // Field-exhaustive so aggregation (e.g. a sharded cluster summing its
+    // per-shard fabrics) cannot silently drop a counter added later.
+    fn add_assign(&mut self, rhs: TrafficStats) {
+        let TrafficStats { messages, bytes } = rhs;
+        self.messages += messages;
+        self.bytes += bytes;
+    }
 }
 
 /// Per-node injected-fault state (see [`FaultPlan`]). Windows are stored as
@@ -55,6 +65,9 @@ pub(crate) struct FabricInner {
     pub(crate) graveyard: RefCell<Vec<OneshotSender<Vec<OpResult>>>>,
     pub(crate) endpoints: Cell<usize>,
     pub(crate) stats: Cell<TrafficStats>,
+    /// Stream for per-message draws (wire jitter, drop rolls): the shared
+    /// simulation stream, or a private fork per `FabricConfig::rng_label`.
+    pub(crate) rng: SimRng,
     faults: RefCell<FaultState>,
 }
 
@@ -68,6 +81,10 @@ impl Fabric {
     /// Creates a fabric with `num_nodes` memory nodes.
     pub fn new(sim: &Sim, cfg: FabricConfig, num_nodes: usize) -> Self {
         assert!(num_nodes >= 1, "fabric needs at least one memory node");
+        let rng = match cfg.rng_label {
+            Some(label) => sim.fork_rng(label),
+            None => SimRng::shared(sim),
+        };
         Fabric {
             inner: Rc::new(FabricInner {
                 sim: sim.clone(),
@@ -77,9 +94,15 @@ impl Fabric {
                 graveyard: RefCell::new(Vec::new()),
                 endpoints: Cell::new(0),
                 stats: Cell::new(TrafficStats::default()),
+                rng,
                 faults: RefCell::new(FaultState::new(num_nodes)),
             }),
         }
+    }
+
+    /// The stream this fabric's per-message draws come from.
+    pub fn rng(&self) -> &SimRng {
+        &self.inner.rng
     }
 
     /// The simulation this fabric runs in.
@@ -205,7 +228,7 @@ impl Fabric {
 
     /// Per-message silence check: true if the message must vanish because
     /// the node is partitioned or an active drop window's coin flip says
-    /// so. Draws from the simulation RNG *only* inside an active drop
+    /// so. Draws from this fabric's RNG stream *only* inside an active drop
     /// window, so healthy runs keep their RNG stream bit-identical.
     pub(crate) fn fault_silences(&self, node: NodeId) -> bool {
         let permille = {
@@ -219,7 +242,7 @@ impl Fabric {
                 return false;
             }
         };
-        self.inner.sim.rand_range(0, 1000) < permille as u64
+        self.inner.rng.rand_range(0, 1000) < permille as u64
     }
 
     /// Creates a client endpoint with its own dedicated CPU core.

@@ -17,6 +17,7 @@ use crate::client::{KvClient, KvClientConfig, Proto};
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 use crate::membership::Membership;
+use crate::shard::{ShardSpec, ShardedCluster};
 use crate::store::{KvResult, KvStore};
 use crate::CacheCapacity;
 
@@ -95,6 +96,7 @@ pub struct StoreBuilder {
     cluster: ClusterConfig,
     fusee: FuseeConfig,
     client: KvClientConfig,
+    shards: usize,
 }
 
 impl StoreBuilder {
@@ -106,6 +108,7 @@ impl StoreBuilder {
             cluster: ClusterConfig::default(),
             fusee: FuseeConfig::default(),
             client: KvClientConfig::default(),
+            shards: 1,
         }
     }
 
@@ -173,6 +176,17 @@ impl StoreBuilder {
         self
     }
 
+    /// Partitions the keyspace over `n` independent shards (default 1).
+    /// Build with [`StoreBuilder::build_sharded`]; every shard gets its own
+    /// fabric, index, membership and replica groups with this builder's
+    /// configuration, and clients route through
+    /// [`crate::ShardRouter`]s minted by [`crate::ShardedCluster::router`].
+    pub fn shards(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a cluster has at least one shard");
+        self.shards = n;
+        self
+    }
+
     /// Replaces the whole cluster configuration (the escape hatch for knobs
     /// without a fluent setter, e.g. fabric latency or clock skew).
     pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {
@@ -211,7 +225,17 @@ impl StoreBuilder {
 
     /// Builds the cluster-side state (fabric, index, membership, key
     /// allocator). Clients are then minted with [`StoreCluster::client`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`StoreBuilder::shards`] was set above 1 — a multi-shard
+    /// builder must go through [`StoreBuilder::build_sharded`], which
+    /// builds one cluster per shard.
     pub fn build_cluster(&self, sim: &Sim) -> StoreCluster {
+        assert_eq!(
+            self.shards, 1,
+            "multi-shard builders build with build_sharded"
+        );
         let kind = match self.protocol {
             Protocol::Fusee => ClusterKind::Fusee(FuseeCluster::new(sim, self.fusee.clone())),
             _ => ClusterKind::Swarm(Cluster::new(sim, self.effective_cluster_config())),
@@ -221,6 +245,34 @@ impl StoreBuilder {
             protocol: self.protocol,
             client_cfg: self.client.clone(),
         }
+    }
+
+    /// Builds one independent [`StoreCluster`] per configured shard on the
+    /// shared simulation. Each shard carries this builder's full
+    /// configuration but draws from its own private RNG streams, so no
+    /// shard's execution can perturb another's (see [`crate::ShardSpec`]).
+    pub fn build_sharded(&self, sim: &Sim) -> ShardedCluster {
+        let spec = ShardSpec::new(self.shards);
+        let shards = (0..self.shards)
+            .map(|s| {
+                let mut b = self.clone();
+                b.shards = 1;
+                b.cluster.rng_label = Some(spec_rng_label(&spec, s, b.cluster.rng_label));
+                b.fusee.rng_label = Some(spec_rng_label(&spec, s, b.fusee.rng_label));
+                b.build_cluster(sim)
+            })
+            .collect();
+        ShardedCluster::from_shards(sim, spec, shards)
+    }
+}
+
+/// The per-shard RNG label: derived from the spec (and any label the user
+/// pinned on the builder, so two sharded clusters on one sim can be told
+/// apart by labeling one).
+fn spec_rng_label(spec: &ShardSpec, shard: usize, user: Option<u64>) -> u64 {
+    match user {
+        Some(base) => crate::cluster::derive_label(base, shard as u64, spec.shards() as u64),
+        None => spec.rng_label(shard),
     }
 }
 
@@ -255,15 +307,27 @@ impl StoreCluster {
 
     /// Creates client `id` (one per application thread).
     pub fn client(&self, id: usize) -> Rc<StoreClient> {
+        self.client_on(id, None)
+    }
+
+    /// Creates client `id` sharing an existing CPU core. Cross-shard
+    /// routers mint their per-shard clients this way so the whole set
+    /// models one application thread.
+    pub fn client_with_cpu(&self, id: usize, cpu: swarm_sim::FifoResource) -> Rc<StoreClient> {
+        self.client_on(id, Some(cpu))
+    }
+
+    fn client_on(&self, id: usize, cpu: Option<swarm_sim::FifoResource>) -> Rc<StoreClient> {
         Rc::new(match &self.kind {
-            ClusterKind::Swarm(c) => StoreClient::Swarm(KvClient::new(
+            ClusterKind::Swarm(c) => StoreClient::Swarm(KvClient::with_cpu(
                 c,
                 self.protocol.proto().expect("swarm substrate"),
                 id,
                 self.client_cfg.clone(),
+                cpu,
             )),
             ClusterKind::Fusee(c) => {
-                StoreClient::Fusee(FuseeKv::with_config(c, id, self.client_cfg.clone()))
+                StoreClient::Fusee(FuseeKv::with_cpu(c, id, self.client_cfg.clone(), cpu))
             }
         })
     }
@@ -458,6 +522,18 @@ mod tests {
             .meta_bufs(8);
         let cfg = b.effective_cluster_config();
         assert_eq!((cfg.replicas, cfg.meta_bufs), (5, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "build_sharded")]
+    fn multi_shard_builder_refuses_unsharded_build() {
+        // A builder carrying shards > 1 must never silently produce one
+        // replica group (e.g. a bench feeding a sharded ExpParams into the
+        // unsharded build path).
+        let sim = Sim::new(1);
+        let _ = StoreBuilder::new(Protocol::SafeGuess)
+            .shards(4)
+            .build_cluster(&sim);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 
-use swarm_sim::Sim;
+use swarm_sim::SimRng;
 
 /// How many occupied slots an eviction samples.
 const SAMPLE: usize = 8;
@@ -74,9 +74,10 @@ impl<V> LfuCache<V> {
         }
     }
 
-    /// Inserts `key`, evicting a sampled-LFU victim if full. `sim` supplies
-    /// the (deterministic) sampling randomness.
-    pub fn insert(&mut self, sim: &Sim, key: u64, value: V) {
+    /// Inserts `key`, evicting a sampled-LFU victim if full. `rng` supplies
+    /// the (deterministic) sampling randomness — the owning client's
+    /// stream, so a bounded cache in one shard cannot perturb another's.
+    pub fn insert(&mut self, rng: &SimRng, key: u64, value: V) {
         if let Some(&slot) = self.map.get(&key) {
             let e = self.slots[slot].as_mut().unwrap();
             e.1 = value;
@@ -84,7 +85,7 @@ impl<V> LfuCache<V> {
             return;
         }
         if self.map.len() >= self.cap {
-            self.evict_one(sim);
+            self.evict_one(rng);
         }
         let slot = match self.free.pop() {
             Some(s) => {
@@ -107,13 +108,13 @@ impl<V> LfuCache<V> {
         Some(v)
     }
 
-    fn evict_one(&mut self, sim: &Sim) {
+    fn evict_one(&mut self, rng: &SimRng) {
         debug_assert!(!self.map.is_empty());
         let n = self.slots.len();
         let mut victim: Option<(usize, u32)> = None;
         let mut tried = 0;
         while tried < SAMPLE * 3 && victim.map(|_| tried < SAMPLE).unwrap_or(true) {
-            let s = sim.rand_range(0, n as u64) as usize;
+            let s = rng.rand_range(0, n as u64) as usize;
             tried += 1;
             if let Some((_, _, freq)) = &self.slots[s] {
                 match victim {
@@ -132,12 +133,13 @@ impl<V> LfuCache<V> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use swarm_sim::Sim;
 
     #[test]
     fn basic_get_insert_remove() {
-        let sim = Sim::new(1);
+        let rng = SimRng::shared(&Sim::new(1));
         let mut c: LfuCache<u32> = LfuCache::new(4);
-        c.insert(&sim, 1, 10);
+        c.insert(&rng, 1, 10);
         assert_eq!(c.get(1), Some(&10));
         assert_eq!(c.get(2), None);
         assert_eq!(c.remove(1), Some(10));
@@ -147,21 +149,21 @@ mod tests {
 
     #[test]
     fn capacity_is_enforced() {
-        let sim = Sim::new(2);
+        let rng = SimRng::shared(&Sim::new(2));
         let mut c: LfuCache<u32> = LfuCache::new(8);
         for k in 0..100 {
-            c.insert(&sim, k, k as u32);
+            c.insert(&rng, k, k as u32);
         }
         assert_eq!(c.len(), 8);
     }
 
     #[test]
     fn hot_entries_survive_eviction() {
-        let sim = Sim::new(3);
+        let rng = SimRng::shared(&Sim::new(3));
         let mut c: LfuCache<u32> = LfuCache::new(16);
         // Make keys 0..4 hot.
         for k in 0..4 {
-            c.insert(&sim, k, 0);
+            c.insert(&rng, k, 0);
         }
         for _ in 0..50 {
             for k in 0..4 {
@@ -170,7 +172,7 @@ mod tests {
         }
         // Flood with cold keys.
         for k in 100..400 {
-            c.insert(&sim, k, 0);
+            c.insert(&rng, k, 0);
         }
         let survivors = (0..4).filter(|&k| c.get(k).is_some()).count();
         assert!(survivors >= 3, "hot keys evicted: {survivors}/4 left");
@@ -178,22 +180,22 @@ mod tests {
 
     #[test]
     fn reinsert_updates_value() {
-        let sim = Sim::new(4);
+        let rng = SimRng::shared(&Sim::new(4));
         let mut c: LfuCache<u32> = LfuCache::new(2);
-        c.insert(&sim, 1, 10);
-        c.insert(&sim, 1, 20);
+        c.insert(&rng, 1, 10);
+        c.insert(&rng, 1, 20);
         assert_eq!(c.get(1), Some(&20));
         assert_eq!(c.len(), 1);
     }
 
     #[test]
     fn slot_reuse_after_remove() {
-        let sim = Sim::new(5);
+        let rng = SimRng::shared(&Sim::new(5));
         let mut c: LfuCache<u32> = LfuCache::new(2);
-        c.insert(&sim, 1, 1);
-        c.insert(&sim, 2, 2);
+        c.insert(&rng, 1, 1);
+        c.insert(&rng, 2, 2);
         c.remove(1);
-        c.insert(&sim, 3, 3);
+        c.insert(&rng, 3, 3);
         assert_eq!(c.len(), 2);
         assert_eq!(c.get(3), Some(&3));
     }

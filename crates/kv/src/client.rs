@@ -19,10 +19,10 @@ use swarm_core::{
     TsLockSet, WritePath,
 };
 use swarm_fabric::Endpoint;
-use swarm_sim::{join2, GuessClock, Nanos};
+use swarm_sim::{join2, FifoResource, GuessClock, Nanos, SimRng};
 
 use crate::cache::LfuCache;
-use crate::cluster::{Cluster, KeyInfo};
+use crate::cluster::{derive_label, Cluster, KeyInfo, ROLE_CACHE, ROLE_CLOCK};
 use crate::index::InsertOutcome;
 use crate::store::{with_deadline, KvError, KvResult, KvStore};
 
@@ -117,14 +117,30 @@ pub struct KvClient {
     rounds: Rounds,
     guesser: Rc<TsGuesser>,
     cache: RefCell<LfuCache<Rc<KeyHandle>>>,
+    /// Stream for this client's own draws (cache-eviction sampling); the
+    /// clock draws from its own sibling stream.
+    rng: SimRng,
     version: Cell<u64>,
     op_deadline_ns: Option<Nanos>,
 }
 
 impl KvClient {
     /// Creates client `client_id` (must be `< cluster.config().max_clients`
-    /// for replicated protocols).
+    /// for replicated protocols) on a dedicated CPU core.
     pub fn new(cluster: &Cluster, proto: Proto, client_id: usize, cfg: KvClientConfig) -> Rc<Self> {
+        Self::with_cpu(cluster, proto, client_id, cfg, None)
+    }
+
+    /// [`KvClient::new`], optionally sharing an existing CPU core. A
+    /// cross-shard router passes the same core to its per-shard clients so
+    /// that the set models *one* application thread, not one per shard.
+    pub fn with_cpu(
+        cluster: &Cluster,
+        proto: Proto,
+        client_id: usize,
+        cfg: KvClientConfig,
+        cpu: Option<FifoResource>,
+    ) -> Rc<Self> {
         let cc = cluster.config();
         if proto != Proto::Raw {
             assert!(
@@ -133,11 +149,22 @@ impl KvClient {
             );
         }
         let sim = cluster.sim().clone();
-        let ep = Rc::new(cluster.fabric().endpoint());
+        let ep = Rc::new(match cpu {
+            Some(cpu) => cluster.fabric().endpoint_with_cpu(cpu),
+            None => cluster.fabric().endpoint(),
+        });
         let health = NodeHealth::new(cc.nodes);
         cluster.membership().subscribe(Rc::clone(&health));
-        let clock = Rc::new(GuessClock::new(
+        // With a cluster rng label, the clock and the cache draw from
+        // private per-client streams; otherwise from the shared one (the
+        // historical, bit-compatible behavior).
+        let fork = |role: u64| match cc.rng_label {
+            Some(l) => sim.fork_rng(derive_label(l, role, client_id as u64)),
+            None => SimRng::shared(&sim),
+        };
+        let clock = Rc::new(GuessClock::with_rng(
             &sim,
+            fork(ROLE_CLOCK),
             cc.clock_skew_ns,
             cc.clock_drift_ppm,
             (cc.clock_skew_ns / 2).max(1),
@@ -152,6 +179,7 @@ impl KvClient {
             rounds: Rounds::new(),
             guesser,
             cache: RefCell::new(LfuCache::new(cfg.cache.entry_limit())),
+            rng: fork(ROLE_CACHE),
             version: Cell::new(0),
             op_deadline_ns: cfg.op_deadline_ns,
         })
@@ -269,7 +297,7 @@ impl KvClient {
         let h = self.build_handle(&info);
         self.cache
             .borrow_mut()
-            .insert(self.cluster.sim(), key, Rc::clone(&h));
+            .insert(&self.rng, key, Rc::clone(&h));
         Some(h)
     }
 
@@ -425,7 +453,7 @@ impl KvClient {
         let ((outcome, existing), _wrote) = join2(ins, write).await;
         match outcome {
             InsertOutcome::Inserted => {
-                self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
+                self.cache.borrow_mut().insert(&self.rng, key, h);
                 Ok(())
             }
             InsertOutcome::Full => Err(KvError::IndexFull),
@@ -436,7 +464,7 @@ impl KvClient {
                 let h2 = self.build_handle(&existing);
                 match self.write_via(&h2, value.clone()).await {
                     Ok(()) => {
-                        self.cache.borrow_mut().insert(self.cluster.sim(), key, h2);
+                        self.cache.borrow_mut().insert(&self.rng, key, h2);
                         Ok(())
                     }
                     Err(KvError::Deleted) => {
@@ -445,7 +473,7 @@ impl KvClient {
                         // replicas marked for deletion is overwritten").
                         self.rounds.bump();
                         index.set(key, Rc::clone(&info)).await;
-                        self.cache.borrow_mut().insert(self.cluster.sim(), key, h);
+                        self.cache.borrow_mut().insert(&self.rng, key, h);
                         Ok(())
                     }
                     Err(e) => Err(e),

@@ -52,6 +52,14 @@ pub struct ClusterConfig {
     /// Maximum live index mappings (`None` = unbounded); inserts beyond it
     /// fail with `KvError::IndexFull`.
     pub index_capacity: Option<usize>,
+    /// RNG-stream label for everything this cluster builds (fabric jitter,
+    /// index jitter, client clocks and caches). `None` (the default) draws
+    /// from the simulation's shared stream — the historical behavior.
+    /// `Some(label)` forks private per-role streams from `(sim seed,
+    /// label)`, so nothing that happens in this cluster can perturb — or be
+    /// perturbed by — any other cluster on the same `Sim`. Sharded clusters
+    /// set one label per shard (see `swarm_kv::ShardedCluster`).
+    pub rng_label: Option<u64>,
 }
 
 impl Default for ClusterConfig {
@@ -69,9 +77,29 @@ impl Default for ClusterConfig {
             clock_skew_ns: 400,
             clock_drift_ppm: 5.0,
             index_capacity: None,
+            rng_label: None,
         }
     }
 }
+
+/// Derives a sub-stream label from a cluster label, a role tag, and an
+/// instance id (splitmix-style mixing; collisions across distinct inputs
+/// are no worse than random).
+pub(crate) fn derive_label(base: u64, role: u64, id: u64) -> u64 {
+    let mut z = base
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(role)
+        .wrapping_mul(0xBF58476D1CE4E5B9)
+        .wrapping_add(id);
+    z ^= z >> 29;
+    z.wrapping_mul(0x94D049BB133111EB)
+}
+
+/// Role tags for [`derive_label`].
+pub(crate) const ROLE_FABRIC: u64 = 1;
+pub(crate) const ROLE_INDEX: u64 = 2;
+pub(crate) const ROLE_CLOCK: u64 = 3;
+pub(crate) const ROLE_CACHE: u64 = 4;
 
 /// Control-plane record of one key's replica allocation.
 #[derive(Debug, Clone)]
@@ -112,13 +140,21 @@ impl Cluster {
         assert!(cfg.replicas >= 1);
         assert!(cfg.max_clients >= 1 && cfg.max_clients <= 200);
         assert!(cfg.meta_bufs >= 1);
-        let fabric = Fabric::new(sim, cfg.fabric.clone(), cfg.nodes);
+        let mut fabric_cfg = cfg.fabric.clone();
+        if fabric_cfg.rng_label.is_none() {
+            fabric_cfg.rng_label = cfg.rng_label.map(|l| derive_label(l, ROLE_FABRIC, 0));
+        }
+        let index_rng = match cfg.rng_label {
+            Some(l) => sim.fork_rng(derive_label(l, ROLE_INDEX, 0)),
+            None => swarm_sim::SimRng::shared(sim),
+        };
+        let fabric = Fabric::new(sim, fabric_cfg, cfg.nodes);
         let membership = Membership::with_default_detection(sim, &fabric);
         Cluster {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
                 fabric,
-                index: Index::with_capacity(sim, cfg.index_capacity),
+                index: Index::with_capacity_rng(sim, cfg.index_capacity, index_rng),
                 cfg,
                 membership,
                 keys: RefCell::new(HashMap::new()),

@@ -27,10 +27,11 @@ use std::rc::Rc;
 
 use swarm_core::Rounds;
 use swarm_fabric::{Endpoint, Fabric, FabricConfig, NodeId, Op};
-use swarm_sim::{join_all, Nanos, Sim, NANOS_PER_MILLI};
+use swarm_sim::{join_all, FifoResource, Nanos, Sim, SimRng, NANOS_PER_MILLI};
 
 use crate::cache::LfuCache;
 use crate::client::{CacheCapacity, KvClientConfig};
+use crate::cluster::{derive_label, ROLE_CACHE, ROLE_FABRIC, ROLE_INDEX};
 use crate::index::Index;
 use crate::store::{with_deadline, KvError, KvResult, KvStore};
 
@@ -59,6 +60,10 @@ pub struct FuseeConfig {
     /// Maximum live index mappings (`None` = unbounded); inserts beyond it
     /// fail with `KvError::IndexFull`.
     pub index_capacity: Option<usize>,
+    /// RNG-stream label, same semantics as `ClusterConfig::rng_label`:
+    /// `None` = shared stream, `Some(label)` = private per-role forks (set
+    /// per shard by sharded clusters).
+    pub rng_label: Option<u64>,
 }
 
 impl Default for FuseeConfig {
@@ -73,6 +78,7 @@ impl Default for FuseeConfig {
             get_overhead_ns: 800,
             update_overhead_ns: 1_300,
             index_capacity: None,
+            rng_label: None,
         }
     }
 }
@@ -111,12 +117,20 @@ pub struct FuseeCluster {
 impl FuseeCluster {
     /// Creates the cluster.
     pub fn new(sim: &Sim, cfg: FuseeConfig) -> Self {
-        let fabric = Fabric::new(sim, cfg.fabric.clone(), cfg.nodes);
+        let mut fabric_cfg = cfg.fabric.clone();
+        if fabric_cfg.rng_label.is_none() {
+            fabric_cfg.rng_label = cfg.rng_label.map(|l| derive_label(l, ROLE_FABRIC, 0));
+        }
+        let index_rng = match cfg.rng_label {
+            Some(l) => sim.fork_rng(derive_label(l, ROLE_INDEX, 0)),
+            None => SimRng::shared(sim),
+        };
+        let fabric = Fabric::new(sim, fabric_cfg, cfg.nodes);
         FuseeCluster {
             inner: Rc::new(ClusterInner {
                 sim: sim.clone(),
                 fabric,
-                index: Index::with_capacity(sim, cfg.index_capacity),
+                index: Index::with_capacity_rng(sim, cfg.index_capacity, index_rng),
                 cfg,
                 keys: RefCell::new(HashMap::new()),
             }),
@@ -234,6 +248,9 @@ pub struct FuseeKv {
     ep: Rc<Endpoint>,
     rounds: Rounds,
     cache: RefCell<LfuCache<Rc<CacheEntry>>>,
+    /// Stream for cache-eviction sampling (shared unless the cluster has an
+    /// rng label).
+    rng: SimRng,
     op_deadline_ns: Option<Nanos>,
     /// Gets that had to re-fetch due to a stale cached pointer.
     stale_gets: Cell<u64>,
@@ -257,12 +274,33 @@ impl FuseeKv {
     /// Creates client `client_id` with the full per-client configuration
     /// (cache capacity + optional per-operation deadline).
     pub fn with_config(cluster: &FuseeCluster, client_id: usize, cfg: KvClientConfig) -> Rc<Self> {
+        Self::with_cpu(cluster, client_id, cfg, None)
+    }
+
+    /// [`FuseeKv::with_config`], optionally sharing an existing CPU core
+    /// (see `KvClient::with_cpu` — one application thread per cross-shard
+    /// router).
+    pub fn with_cpu(
+        cluster: &FuseeCluster,
+        client_id: usize,
+        cfg: KvClientConfig,
+        cpu: Option<FifoResource>,
+    ) -> Rc<Self> {
+        let sim = cluster.sim();
+        let rng = match cluster.config().rng_label {
+            Some(l) => sim.fork_rng(derive_label(l, ROLE_CACHE, client_id as u64)),
+            None => SimRng::shared(sim),
+        };
         Rc::new(FuseeKv {
             cluster: cluster.clone(),
             client_id,
-            ep: Rc::new(cluster.fabric().endpoint()),
+            ep: Rc::new(match cpu {
+                Some(cpu) => cluster.fabric().endpoint_with_cpu(cpu),
+                None => cluster.fabric().endpoint(),
+            }),
             rounds: Rounds::new(),
             cache: RefCell::new(LfuCache::new(cfg.cache.entry_limit())),
+            rng,
             op_deadline_ns: cfg.op_deadline_ns,
             stale_gets: Cell::new(0),
             fresh_gets: Cell::new(0),
@@ -324,7 +362,7 @@ impl FuseeKv {
         });
         self.cache
             .borrow_mut()
-            .insert(self.cluster.sim(), key, Rc::clone(&e));
+            .insert(&self.rng, key, Rc::clone(&e));
         Some(e)
     }
 }
@@ -356,7 +394,7 @@ impl FuseeKv {
                 let version = info.version.get();
                 let v = self.read_block(&info, version).await?;
                 self.cache.borrow_mut().insert(
-                    self.cluster.sim(),
+                    &self.rng,
                     key,
                     Rc::new(CacheEntry { version, info }),
                 );
@@ -459,7 +497,7 @@ impl FuseeKv {
             .await;
 
         self.cache.borrow_mut().insert(
-            self.cluster.sim(),
+            &self.rng,
             key,
             Rc::new(CacheEntry {
                 version: new_version,

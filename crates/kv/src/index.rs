@@ -12,7 +12,7 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use swarm_sim::{oneshot, FifoResource, Jitter, Nanos, Sim};
+use swarm_sim::{oneshot, FifoResource, Jitter, Nanos, Sim, SimRng};
 
 /// Outcome of [`Index::try_insert`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -28,6 +28,7 @@ pub enum InsertOutcome {
 
 struct Inner<L> {
     sim: Sim,
+    rng: SimRng,
     map: RefCell<HashMap<u64, L>>,
     capacity: Option<usize>,
     cpu: FifoResource,
@@ -65,9 +66,17 @@ impl<L: Clone + 'static> Index<L> {
     /// mappings (`None` = unbounded). Control-plane [`Index::load`] ignores
     /// the cap: bulk loading models a pre-provisioned keyspace.
     pub fn with_capacity(sim: &Sim, capacity: Option<usize>) -> Self {
+        Self::with_capacity_rng(sim, capacity, SimRng::shared(sim))
+    }
+
+    /// [`Index::with_capacity`] with an explicit latency-jitter stream: a
+    /// sharded cluster gives each shard's index a private fork so its
+    /// draws cannot perturb other shards (see `Sim::fork_rng`).
+    pub fn with_capacity_rng(sim: &Sim, capacity: Option<usize>, rng: SimRng) -> Self {
         Index {
             inner: Rc::new(Inner {
                 sim: sim.clone(),
+                rng,
                 map: RefCell::new(HashMap::new()),
                 capacity,
                 cpu: FifoResource::new(sim),
@@ -90,14 +99,14 @@ impl<L: Clone + 'static> Index<L> {
         let inner = &self.inner;
         inner.ops.set(inner.ops.get() + 1);
         inner.bytes.set(inner.bytes.get() + INDEX_MSG_BYTES);
-        let out = inner.wire.sample(&inner.sim);
+        let out = inner.wire.sample_rng(&inner.rng);
         let (tx, rx) = oneshot::<()>();
         let this = Rc::clone(inner);
         let sim = inner.sim.clone();
         sim.clone().schedule_after(out, move |s| {
             // Server-side service, then the reply flies back.
             let (_, done) = this.cpu.reserve(this.service_ns);
-            let back = this.wire.sample(s);
+            let back = this.wire.sample_rng(&this.rng);
             s.schedule_at(done + back, move |_| tx.send(()));
         });
         rx.await;

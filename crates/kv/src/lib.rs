@@ -16,6 +16,11 @@
 //!   `multi_get` / `multi_update` / `multi_insert` issue all per-key
 //!   operations concurrently, so a batch of N independent cached keys costs
 //!   about one quorum roundtrip instead of N (§7.2's ops-in-flight path).
+//! * Past one replica group, `StoreBuilder::shards(n)` + `build_sharded`
+//!   partition the keyspace over independent shard clusters behind
+//!   [`ShardRouter`] clients ([`ShardSpec`] is the stateless key→shard
+//!   hash; each shard draws from private RNG streams so faults on one
+//!   shard cannot perturb another — see [`ShardedCluster`]).
 //!
 //! ```
 //! use swarm_kv::{CacheCapacity, KvStore, KvStoreExt, Protocol, StoreBuilder};
@@ -79,20 +84,24 @@ mod builder;
 mod cache;
 mod client;
 mod cluster;
+mod envknob;
 mod fusee;
 mod index;
 mod membership;
 mod recorder;
 mod runner;
+mod shard;
 mod store;
 
 pub use builder::{Protocol, StoreBuilder, StoreClient, StoreCluster};
 pub use cache::LfuCache;
 pub use client::{CacheCapacity, KvClient, KvClientConfig, Proto};
 pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
+pub use envknob::{env_knob, parse_knob};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
 pub use recorder::{value_tag, HistoryRecorder, RecordingStore};
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
+pub use shard::{ShardRouter, ShardSpec, ShardedCluster};
 pub use store::{KvError, KvResult, KvStore, KvStoreExt};

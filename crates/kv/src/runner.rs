@@ -5,35 +5,33 @@
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::rc::Rc;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 use swarm_sim::{join2, Histogram, Nanos, Sim, TimeSeries, NANOS_PER_SEC};
 use swarm_workload::{OpType, Workload};
 
+use crate::envknob::env_knob;
 use crate::store::{KvStore, KvStoreExt};
 
 /// The volume scale requested via `SWARM_BENCH_OPS_SCALE` (a positive float,
 /// e.g. `0.01`), or `None` if the variable is unset or unparsable. An
-/// unparsable value is ignored with a one-time warning on stderr.
+/// unparsable value is ignored with a one-time warning on stderr (the
+/// shared [`env_knob`] convention).
 pub fn ops_scale() -> Option<f64> {
-    parse_ops_scale(std::env::var("SWARM_BENCH_OPS_SCALE").ok().as_deref())
+    env_knob(
+        "SWARM_BENCH_OPS_SCALE",
+        "a positive float like 0.01",
+        |s: &f64| s.is_finite() && *s > 0.0,
+    )
 }
 
+#[cfg(test)]
 fn parse_ops_scale(raw: Option<&str>) -> Option<f64> {
-    let raw = raw?;
-    match raw.parse::<f64>() {
-        Ok(scale) if scale.is_finite() && scale > 0.0 => Some(scale),
-        _ => {
-            static WARNED: AtomicBool = AtomicBool::new(false);
-            if !WARNED.swap(true, Ordering::Relaxed) {
-                eprintln!(
-                    "warn: ignoring SWARM_BENCH_OPS_SCALE={raw:?}: \
-                     expected a positive float like 0.01"
-                );
-            }
-            None
-        }
-    }
+    crate::envknob::parse_knob(
+        "SWARM_BENCH_OPS_SCALE",
+        raw,
+        "a positive float like 0.01",
+        |s: &f64| s.is_finite() && *s > 0.0,
+    )
 }
 
 /// Run parameters.

@@ -1,0 +1,453 @@
+//! Keyspace sharding: many independent replica groups behind one store.
+//!
+//! The paper evaluates one replica group; production-scale keyspaces are
+//! *partitioned*. A [`ShardedCluster`] stands up N completely independent
+//! [`StoreCluster`]s — each with its own fabric, index, membership, and
+//! replica groups, any [`Protocol`] — on one simulation, and a
+//! [`ShardRouter`] client routes every operation to the shard that owns its
+//! key via the stateless hash mapping in [`ShardSpec`].
+//!
+//! # Shard independence
+//!
+//! Shards share nothing but the simulation clock. Each shard's fabric,
+//! index, clocks, and caches draw from *private* RNG streams forked from
+//! `(simulation seed, shard label)` (see `swarm_sim::SimRng`), so what
+//! happens on one shard — extra retries, a fault plan's message drops, a
+//! crashed node — cannot perturb another shard's execution. Traffic that
+//! touches only shard `s` replays bit-identically whatever fault plan is
+//! applied to shard `t != s`; the chaos suite asserts exactly that.
+//!
+//! # Routing
+//!
+//! [`ShardSpec::shard_of`] hashes the key id (workload key ids are already
+//! hash-scrambled, but routing re-hashes so the mapping is independent of
+//! the workload's scramble) and reduces modulo the shard count. The mapping
+//! is a pure function of `(key, shard count)`: stable across runs, seeds,
+//! and processes. A [`ShardRouter`] holds one per-shard client minted with a
+//! **shared CPU core**, so a router models one application thread that
+//! happens to talk to many shards — not one thread per shard.
+//!
+//! Batched multi-key operations group keys by owning shard, fan one
+//! pipelined multi-op per shard out through `join_boxed`, and reassemble
+//! results into input order deterministically.
+
+use std::cell::Cell;
+use std::future::Future;
+use std::rc::Rc;
+
+use swarm_fabric::{Endpoint, TrafficStats};
+use swarm_sim::{join_boxed, BoxFuture, FifoResource, Sim};
+
+use crate::builder::{Protocol, StoreClient, StoreCluster};
+use crate::cluster::derive_label;
+use crate::store::{KvResult, KvStore, KvStoreExt};
+
+/// Base label the per-shard RNG streams are derived from (see
+/// `ClusterConfig::rng_label`).
+const SHARD_RNG_BASE: u64 = 0x5A4D_5348_4152_4421;
+
+/// Seed of the key→shard routing hash. Changing it reshuffles every
+/// sharded keyspace; tests pin the resulting mapping.
+const SHARD_HASH_SEED: u64 = 0x0053_4841_5244;
+
+/// The keyspace partitioning: shard count plus the stateless hash-based
+/// key→shard mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardSpec {
+    shards: usize,
+}
+
+impl ShardSpec {
+    /// A spec over `shards` shards (`shards >= 1`).
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "a cluster has at least one shard");
+        ShardSpec { shards }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard owning `key`: a pure function of `(key, shard count)` —
+    /// stable across runs, seeds, and thread counts.
+    pub fn shard_of(&self, key: u64) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        (swarm_core::xxh64(&key.to_le_bytes(), SHARD_HASH_SEED) % self.shards as u64) as usize
+    }
+
+    /// The RNG label shard `s` (and everything built under it) forks its
+    /// private streams from.
+    pub(crate) fn rng_label(&self, s: usize) -> u64 {
+        derive_label(SHARD_RNG_BASE, s as u64, self.shards as u64)
+    }
+}
+
+/// N independent [`StoreCluster`]s (one per shard) on one simulation,
+/// with the [`ShardSpec`] that partitions the keyspace across them.
+/// Cheaply cloneable. Built by `StoreBuilder::shards(n)` +
+/// `StoreBuilder::build_sharded`.
+#[derive(Clone)]
+pub struct ShardedCluster {
+    sim: Sim,
+    spec: ShardSpec,
+    shards: Vec<StoreCluster>,
+    protocol: Protocol,
+}
+
+impl ShardedCluster {
+    pub(crate) fn from_shards(sim: &Sim, spec: ShardSpec, shards: Vec<StoreCluster>) -> Self {
+        assert_eq!(spec.shards(), shards.len());
+        let protocol = shards[0].protocol();
+        ShardedCluster {
+            sim: sim.clone(),
+            spec,
+            shards,
+            protocol,
+        }
+    }
+
+    /// The keyspace partitioning.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The protocol every shard runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.spec.shards()
+    }
+
+    /// Shard `s`'s cluster (its own fabric, index, membership): the handle
+    /// for per-shard inspection and fault injection —
+    /// `cluster.shard(s).fabric().apply_fault_plan(..)` faults one shard
+    /// without touching the others.
+    pub fn shard(&self, s: usize) -> &StoreCluster {
+        &self.shards[s]
+    }
+
+    /// All shards, in shard order.
+    pub fn shards(&self) -> &[StoreCluster] {
+        &self.shards
+    }
+
+    /// The shard cluster owning `key`.
+    pub fn shard_for(&self, key: u64) -> &StoreCluster {
+        &self.shards[self.spec.shard_of(key)]
+    }
+
+    /// The simulation driving every shard.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+
+    /// Bulk-loads `key = value` into its owning shard (control plane).
+    pub fn load_key(&self, key: u64, value: &[u8]) {
+        self.shard_for(key).load_key(key, value);
+    }
+
+    /// Bulk-loads keys `0..n` with `make_value(key)` payloads, each into
+    /// its owning shard.
+    pub fn load_keys(&self, n: u64, mut make_value: impl FnMut(u64) -> Vec<u8>) {
+        for key in 0..n {
+            self.load_key(key, &make_value(key));
+        }
+    }
+
+    /// Creates router `id`: one application thread with a client on every
+    /// shard, all sharing a single CPU core.
+    pub fn router(&self, id: usize) -> Rc<ShardRouter> {
+        let cpu = FifoResource::new(&self.sim);
+        let clients = self
+            .shards
+            .iter()
+            .map(|c| c.client_with_cpu(id, cpu.clone()))
+            .collect();
+        Rc::new(ShardRouter {
+            spec: self.spec,
+            clients,
+            client_id: id,
+            routed: vec![Cell::new(0); self.spec.shards()],
+        })
+    }
+
+    /// Creates routers `0..n`.
+    pub fn routers(&self, n: usize) -> Vec<Rc<ShardRouter>> {
+        (0..n).map(|i| self.router(i)).collect()
+    }
+
+    /// Aggregate fabric traffic across all shards.
+    pub fn stats(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for s in self.per_shard_stats() {
+            total += s;
+        }
+        total
+    }
+
+    /// Per-shard fabric traffic, in shard order (the load-imbalance view).
+    pub fn per_shard_stats(&self) -> Vec<TrafficStats> {
+        self.shards.iter().map(|c| c.fabric().stats()).collect()
+    }
+}
+
+/// One application thread of a sharded store: implements [`KvStore`] by
+/// routing each operation to the shard that owns its key. Multi-key
+/// batches are fanned out across shards concurrently (one pipelined
+/// multi-op per shard) and reassembled in input order.
+pub struct ShardRouter {
+    spec: ShardSpec,
+    /// One client per shard, all sharing this router's CPU core.
+    clients: Vec<Rc<StoreClient>>,
+    client_id: usize,
+    /// Operations routed to each shard (the per-shard load counters the
+    /// scale bench reports imbalance from).
+    routed: Vec<Cell<u64>>,
+}
+
+impl ShardRouter {
+    /// The keyspace partitioning this router routes by.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// The per-shard client for shard `s` (escape hatch).
+    pub fn shard_client(&self, s: usize) -> &Rc<StoreClient> {
+        &self.clients[s]
+    }
+
+    /// Operations this router has routed to each shard, in shard order.
+    pub fn routed_per_shard(&self) -> Vec<u64> {
+        self.routed.iter().map(Cell::get).collect()
+    }
+
+    /// Aggregate location-cache `(hits, misses)` across the per-shard
+    /// clients.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.clients.iter().fold((0, 0), |(h, m), c| {
+            let (ch, cm) = c.cache_stats();
+            (h + ch, m + cm)
+        })
+    }
+
+    fn route(&self, key: u64) -> &Rc<StoreClient> {
+        let s = self.spec.shard_of(key);
+        self.routed[s].set(self.routed[s].get() + 1);
+        &self.clients[s]
+    }
+
+    /// Reads many keys in one batch: keys group by owning shard, one
+    /// pipelined `multi_get` per shard runs concurrently, and results come
+    /// back in input order.
+    pub fn multi_get<'a>(
+        &'a self,
+        keys: &[u64],
+    ) -> impl Future<Output = Vec<KvResult<Option<Rc<Vec<u8>>>>>> + 'a {
+        let groups = self.group(keys.iter().copied());
+        let total = keys.len();
+        async move {
+            let futs: Vec<BoxFuture<'a, _>> = groups
+                .into_iter()
+                .map(|(shard, positions, keys)| {
+                    let client = Rc::clone(&self.clients[shard]);
+                    Box::pin(async move { (positions, client.multi_get(&keys).await) })
+                        as BoxFuture<'a, _>
+                })
+                .collect();
+            reassemble(total, join_boxed(futs).await)
+        }
+    }
+
+    /// Overwrites many keys in one batch (per-shard pipelined
+    /// `multi_update`s, results in input order).
+    pub fn multi_update<'a>(
+        &'a self,
+        ops: &[(u64, Vec<u8>)],
+    ) -> impl Future<Output = Vec<KvResult<()>>> + 'a {
+        self.multi_mutate(ops, MutateKind::Update)
+    }
+
+    /// Inserts many keys in one batch (per-shard pipelined `multi_insert`s,
+    /// results in input order).
+    pub fn multi_insert<'a>(
+        &'a self,
+        ops: &[(u64, Vec<u8>)],
+    ) -> impl Future<Output = Vec<KvResult<()>>> + 'a {
+        self.multi_mutate(ops, MutateKind::Insert)
+    }
+
+    fn multi_mutate<'a>(
+        &'a self,
+        ops: &[(u64, Vec<u8>)],
+        kind: MutateKind,
+    ) -> impl Future<Output = Vec<KvResult<()>>> + 'a {
+        let groups = self.group(ops.iter().map(|(k, _)| *k));
+        let total = ops.len();
+        // Values are cloned out of the borrowed slice, one heap copy per
+        // element (same contract as `KvStoreExt`).
+        let values: Vec<Vec<Vec<u8>>> = groups
+            .iter()
+            .map(|(_, positions, _)| positions.iter().map(|&p| ops[p].1.clone()).collect())
+            .collect();
+        async move {
+            let futs: Vec<BoxFuture<'a, _>> = groups
+                .into_iter()
+                .zip(values)
+                .map(|((shard, positions, keys), values)| {
+                    let client = Rc::clone(&self.clients[shard]);
+                    let ops: Vec<(u64, Vec<u8>)> = keys.into_iter().zip(values).collect();
+                    Box::pin(async move {
+                        let r = match kind {
+                            MutateKind::Update => client.multi_update(&ops).await,
+                            MutateKind::Insert => client.multi_insert(&ops).await,
+                        };
+                        (positions, r)
+                    }) as BoxFuture<'a, _>
+                })
+                .collect();
+            reassemble(total, join_boxed(futs).await)
+        }
+    }
+
+    /// Groups keys by owning shard: `(shard, input positions, keys)` per
+    /// non-empty shard, in shard order (deterministic).
+    fn group(&self, keys: impl Iterator<Item = u64>) -> Vec<(usize, Vec<usize>, Vec<u64>)> {
+        let mut per: Vec<(Vec<usize>, Vec<u64>)> = vec![Default::default(); self.spec.shards()];
+        for (pos, key) in keys.enumerate() {
+            let s = self.spec.shard_of(key);
+            self.routed[s].set(self.routed[s].get() + 1);
+            per[s].0.push(pos);
+            per[s].1.push(key);
+        }
+        per.into_iter()
+            .enumerate()
+            .filter(|(_, (positions, _))| !positions.is_empty())
+            .map(|(s, (positions, keys))| (s, positions, keys))
+            .collect()
+    }
+}
+
+#[derive(Clone, Copy)]
+enum MutateKind {
+    Update,
+    Insert,
+}
+
+/// Scatters per-shard result groups back into input order.
+fn reassemble<T>(total: usize, groups: Vec<(Vec<usize>, Vec<T>)>) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..total).map(|_| None).collect();
+    for (positions, results) in groups {
+        debug_assert_eq!(positions.len(), results.len());
+        for (pos, r) in positions.into_iter().zip(results) {
+            out[pos] = Some(r);
+        }
+    }
+    out.into_iter()
+        .map(|r| r.expect("every input position gets exactly one result"))
+        .collect()
+}
+
+impl KvStore for ShardRouter {
+    async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
+        self.route(key).get(key).await
+    }
+
+    async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        self.route(key).update(key, value).await
+    }
+
+    async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
+        self.route(key).insert(key, value).await
+    }
+
+    async fn delete(&self, key: u64) -> KvResult<()> {
+        self.route(key).delete(key).await
+    }
+
+    fn rounds(&self) -> u64 {
+        self.clients.iter().map(|c| c.rounds()).sum()
+    }
+
+    fn endpoint(&self) -> Rc<Endpoint> {
+        // The shard-0 endpoint stands in for "this application thread":
+        // every per-shard endpoint shares the router's one CPU core, so
+        // charging client-side work here occupies the same core the
+        // per-shard submissions serialize on.
+        self.clients[0].endpoint()
+    }
+
+    fn client_id(&self) -> usize {
+        self.client_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_mapping_is_total_and_stable() {
+        let spec = ShardSpec::new(4);
+        let spec2 = ShardSpec::new(4);
+        let mut seen = [0u64; 4];
+        for key in 0..4096 {
+            let s = spec.shard_of(key);
+            assert!(s < 4);
+            assert_eq!(s, spec2.shard_of(key), "mapping must be stateless");
+            seen[s] += 1;
+        }
+        // A hash split of 4096 keys over 4 shards is near-even.
+        for (s, &n) in seen.iter().enumerate() {
+            assert!((824..=1224).contains(&n), "shard {s} owns {n} of 4096 keys");
+        }
+    }
+
+    #[test]
+    fn shard_mapping_matches_pinned_goldens() {
+        // The key→shard hash is part of the persistent layout contract: a
+        // sharded deployment reloaded under a new binary must route every
+        // key to the shard that owns its data. These values pin the
+        // mapping; if this test fails, the routing hash changed and every
+        // sharded keyspace would reshuffle.
+        let spec4 = ShardSpec::new(4);
+        let spec16 = ShardSpec::new(16);
+        let golden4: Vec<usize> = (0..16).map(|k| spec4.shard_of(k)).collect();
+        let golden16: Vec<usize> = (0..16).map(|k| spec16.shard_of(k)).collect();
+        assert_eq!(
+            golden4,
+            vec![2, 1, 2, 1, 3, 2, 3, 0, 1, 2, 0, 0, 0, 3, 3, 0]
+        );
+        assert_eq!(
+            golden16,
+            vec![6, 5, 6, 9, 3, 10, 3, 12, 5, 10, 4, 12, 12, 15, 11, 0]
+        );
+        assert_eq!(spec4.shard_of(u64::MAX), 2);
+        assert_eq!(spec16.shard_of(1 << 20), 11);
+    }
+
+    #[test]
+    fn single_shard_spec_maps_everything_to_zero() {
+        let spec = ShardSpec::new(1);
+        for key in [0, 1, u64::MAX, 0xDEAD_BEEF] {
+            assert_eq!(spec.shard_of(key), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_is_rejected() {
+        ShardSpec::new(0);
+    }
+
+    #[test]
+    fn reassemble_restores_input_order() {
+        let groups = vec![(vec![1, 3], vec!["b", "d"]), (vec![0, 2], vec!["a", "c"])];
+        assert_eq!(reassemble(4, groups), vec!["a", "b", "c", "d"]);
+    }
+}

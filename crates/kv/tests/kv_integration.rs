@@ -497,3 +497,180 @@ fn fusee_surfaces_timeout_under_crash() {
         assert_eq!(c.update(1, vec![7u8; 64]).await, Err(KvError::Timeout));
     });
 }
+
+// ---------------------------------------------------------------------------
+// Sharded clusters and the cross-shard router.
+
+/// Every protocol works sharded: keys land on their owning shard, reads
+/// through a router see writes through another router, and only the owning
+/// shard's index carries the mapping.
+#[test]
+fn sharded_cluster_basics_across_all_protocols() {
+    for proto in Protocol::all() {
+        let sim = Sim::new(51);
+        let cluster = StoreBuilder::new(proto)
+            .shards(4)
+            .max_clients(2)
+            .build_sharded(&sim);
+        cluster.load_keys(64, |k| vec![k as u8; 64]);
+        // Loading routed by ownership: the four shard indexes partition the
+        // keyspace (the Cluster-based protocols expose their index sizes).
+        if cluster.shard(0).swarm().is_some() {
+            let indexed: usize = (0..4)
+                .map(|s| cluster.shard(s).swarm().unwrap().index().len())
+                .sum();
+            assert_eq!(
+                indexed,
+                64,
+                "{}: shard indexes must partition",
+                proto.name()
+            );
+        }
+        let a = cluster.router(0);
+        let b = cluster.router(1);
+        sim.block_on(async move {
+            assert_eq!(*a.get(3).await.unwrap().unwrap(), vec![3u8; 64]);
+            b.update(3, vec![9u8; 64]).await.unwrap();
+            assert_eq!(
+                *a.get(3).await.unwrap().unwrap(),
+                vec![9u8; 64],
+                "{}: cross-router visibility",
+                proto.name()
+            );
+        });
+    }
+}
+
+/// Cross-shard `multi_get` returns results in input order, whatever shards
+/// the keys hash to, including duplicates.
+#[test]
+fn cross_shard_multi_get_preserves_input_order() {
+    let sim = Sim::new(52);
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .shards(8)
+        .max_clients(2)
+        .build_sharded(&sim);
+    cluster.load_keys(256, |k| vec![k as u8; 64]);
+    let r = cluster.router(0);
+    // Keys deliberately out of order, spanning shards, with a duplicate.
+    let keys: Vec<u64> = vec![200, 3, 77, 3, 255, 0, 131, 64, 19];
+    sim.block_on(async move {
+        let got = r.multi_get(&keys).await;
+        assert_eq!(got.len(), keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            assert_eq!(
+                **got[i].as_ref().unwrap().as_ref().unwrap(),
+                vec![k as u8; 64],
+                "result {i} must be key {k}'s value"
+            );
+        }
+        // The generic KvStoreExt path routes identically.
+        let ext = KvStoreExt::multi_get(&*r, &keys).await;
+        for (a, b) in got.iter().zip(&ext) {
+            assert_eq!(a, b, "router multi_get must agree with the ext path");
+        }
+    });
+}
+
+/// Batched mutations route per shard and report per-element results in
+/// input order.
+#[test]
+fn cross_shard_multi_update_and_insert_route_correctly() {
+    let sim = Sim::new(53);
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .shards(4)
+        .max_clients(2)
+        .build_sharded(&sim);
+    cluster.load_keys(32, |k| vec![k as u8; 64]);
+    let r = cluster.router(0);
+    sim.block_on(async move {
+        let updates: Vec<(u64, Vec<u8>)> = (0..32).map(|k| (k, vec![0xA0; 64])).collect();
+        assert!(r.multi_update(&updates).await.iter().all(Result::is_ok));
+        // Updating a never-inserted key fails element-wise, in place.
+        let mixed: Vec<(u64, Vec<u8>)> = vec![(1, vec![1; 64]), (999, vec![2; 64])];
+        let res = r.multi_update(&mixed).await;
+        assert_eq!(res[0], Ok(()));
+        assert_eq!(res[1], Err(KvError::NotIndexed));
+        // Fresh inserts land on their owning shards and read back anywhere.
+        let inserts: Vec<(u64, Vec<u8>)> = (1000..1032).map(|k| (k, vec![0xB0; 64])).collect();
+        assert!(r.multi_insert(&inserts).await.iter().all(Result::is_ok));
+        for k in 1000..1032 {
+            assert_eq!(*r.get(k).await.unwrap().unwrap(), vec![0xB0; 64]);
+        }
+    });
+}
+
+/// One shard hitting its index capacity must refuse inserts with
+/// `IndexFull` while every other shard keeps accepting.
+#[test]
+fn per_shard_index_full_leaves_other_shards_accepting() {
+    let sim = Sim::new(54);
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .shards(4)
+        .max_clients(2)
+        .index_capacity(4)
+        .build_sharded(&sim);
+    let spec = cluster.spec();
+    // Fill shard 0 to its cap through the control plane.
+    let shard0_keys: Vec<u64> = (0..).filter(|&k| spec.shard_of(k) == 0).take(4).collect();
+    for &k in &shard0_keys {
+        cluster.load_key(k, &[k as u8; 64]);
+    }
+    let r = cluster.router(0);
+    sim.block_on(async move {
+        // A fresh insert owned by shard 0 must be refused...
+        let fresh0 = (1_000_000..).find(|&k| spec.shard_of(k) == 0).unwrap();
+        assert_eq!(
+            r.insert(fresh0, vec![7u8; 64]).await,
+            Err(KvError::IndexFull),
+            "shard 0 is at capacity"
+        );
+        // ...while inserts owned by the other shards all succeed.
+        for s in 1..4 {
+            let k = (2_000_000..).find(|&k| spec.shard_of(k) == s).unwrap();
+            r.insert(k, vec![8u8; 64]).await.unwrap();
+            assert_eq!(*r.get(k).await.unwrap().unwrap(), vec![8u8; 64]);
+        }
+    });
+}
+
+/// The YCSB runner drives routers exactly like plain clients, and the
+/// router's routed-op counters plus the per-shard fabric stats account for
+/// all the traffic.
+#[test]
+fn runner_drives_sharded_routers_with_per_shard_stats() {
+    let sim = Sim::new(55);
+    let cluster = StoreBuilder::new(Protocol::SafeGuess)
+        .shards(4)
+        .max_clients(3)
+        .build_sharded(&sim);
+    cluster.load_keys(512, |k| vec![k as u8; 64]);
+    let routers = cluster.routers(3);
+    let stats = run_workload(
+        &sim,
+        &routers,
+        &Workload::ycsb(WorkloadSpec::B, 512, 64),
+        &RunConfig {
+            warmup_ops: 200,
+            measure_ops: 2_000,
+            ..Default::default()
+        },
+    );
+    assert_eq!(stats.measured_ops, 2_000);
+    assert_eq!(stats.failed_ops, 0);
+    assert!(stats.throughput_ops() > 0.0);
+    // Every shard saw traffic, and the aggregate equals the per-shard sum.
+    let per_shard = cluster.per_shard_stats();
+    assert!(per_shard.iter().all(|s| s.messages > 0));
+    let total = cluster.stats();
+    assert_eq!(
+        total.messages,
+        per_shard.iter().map(|s| s.messages).sum::<u64>()
+    );
+    // Routed-op counters cover warmup + measured ops across the routers.
+    let routed: u64 = routers
+        .iter()
+        .map(|r| r.routed_per_shard().iter().sum::<u64>())
+        .sum();
+    assert!(routed >= 2_200, "routers routed only {routed} ops");
+}

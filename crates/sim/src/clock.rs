@@ -10,11 +10,15 @@
 use std::cell::Cell;
 
 use crate::executor::Sim;
+use crate::rng::SimRng;
 use crate::time::Nanos;
 
 /// A drifting, offset, loosely synchronized clock.
 pub struct GuessClock {
     sim: Sim,
+    /// Stream the offset/resync draws come from (shared by default; private
+    /// for clocks that must not perturb other subsystems' streams).
+    rng: SimRng,
     /// Fixed-point offset from true time, in nanoseconds (may be negative).
     offset_ns: Cell<i64>,
     /// Drift in parts per million (positive = runs fast).
@@ -27,15 +31,34 @@ pub struct GuessClock {
 
 impl GuessClock {
     /// Creates a clock with initial offset uniform in `±initial_bound_ns` and
-    /// the given drift.
+    /// the given drift, drawing from the simulation's shared stream.
     pub fn new(sim: &Sim, initial_bound_ns: i64, drift_ppm: f64, resync_bound_ns: i64) -> Self {
+        Self::with_rng(
+            sim,
+            SimRng::shared(sim),
+            initial_bound_ns,
+            drift_ppm,
+            resync_bound_ns,
+        )
+    }
+
+    /// [`GuessClock::new`] drawing offsets from the given stream instead of
+    /// the shared one (see [`Sim::fork_rng`]).
+    pub fn with_rng(
+        sim: &Sim,
+        rng: SimRng,
+        initial_bound_ns: i64,
+        drift_ppm: f64,
+        resync_bound_ns: i64,
+    ) -> Self {
         let off = if initial_bound_ns == 0 {
             0
         } else {
-            sim.rand_range(0, 2 * initial_bound_ns as u64) as i64 - initial_bound_ns
+            rng.rand_range(0, 2 * initial_bound_ns as u64) as i64 - initial_bound_ns
         };
         GuessClock {
             sim: sim.clone(),
+            rng,
             offset_ns: Cell::new(off),
             drift_ppm,
             synced_at: Cell::new(0),
@@ -65,7 +88,7 @@ impl GuessClock {
         let off = if b == 0 {
             0
         } else {
-            self.sim.rand_range(0, 2 * b as u64) as i64 - b
+            self.rng.rand_range(0, 2 * b as u64) as i64 - b
         };
         self.offset_ns.set(off);
         self.synced_at.set(self.sim.now());

@@ -10,6 +10,7 @@
 //! not need `rand_distr`.
 
 use crate::executor::Sim;
+use crate::rng::SimRng;
 use crate::time::Nanos;
 
 /// A jitter model: lognormal body plus a rare additive tail spike.
@@ -47,31 +48,39 @@ impl Jitter {
         }
     }
 
-    /// Draws one sample, in nanoseconds.
+    /// Draws one sample from the simulation's shared stream, in
+    /// nanoseconds.
     pub fn sample(&self, sim: &Sim) -> Nanos {
+        self.sample_rng(&SimRng::shared(sim))
+    }
+
+    /// Draws one sample from the given stream, in nanoseconds. Subsystems
+    /// with a private [`SimRng`] (e.g. per-shard fabrics) use this so their
+    /// jitter draws cannot perturb any other stream.
+    pub fn sample_rng(&self, rng: &SimRng) -> Nanos {
         let mut v = self.median_ns;
         if self.sigma > 0.0 {
-            let z = sample_standard_normal(sim);
+            let z = standard_normal_rng(rng);
             v *= (self.sigma * z).exp();
         }
-        if self.tail_prob > 0.0 && sim.rand_f64() < self.tail_prob {
-            v += sample_exponential(sim, self.tail_mean_ns);
+        if self.tail_prob > 0.0 && rng.rand_f64() < self.tail_prob {
+            v += exponential_rng(rng, self.tail_mean_ns);
         }
         v.max(0.0) as Nanos
     }
 }
 
-/// Draws a standard normal via Box–Muller.
-pub fn sample_standard_normal(sim: &Sim) -> f64 {
+/// Draws a standard normal from the given stream via Box–Muller.
+pub fn standard_normal_rng(rng: &SimRng) -> f64 {
     // Avoid ln(0).
-    let u1 = sim.rand_f64().max(1e-12);
-    let u2 = sim.rand_f64();
+    let u1 = rng.rand_f64().max(1e-12);
+    let u2 = rng.rand_f64();
     (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
 }
 
-/// Draws an exponential with the given mean.
-pub fn sample_exponential(sim: &Sim, mean: f64) -> f64 {
-    let u = sim.rand_f64().max(1e-12);
+/// Draws an exponential with the given mean from the given stream.
+pub fn exponential_rng(rng: &SimRng, mean: f64) -> f64 {
+    let u = rng.rand_f64().max(1e-12);
     -mean * u.ln()
 }
 
@@ -109,18 +118,18 @@ mod tests {
 
     #[test]
     fn exponential_mean_is_close() {
-        let sim = Sim::new(5);
+        let rng = SimRng::shared(&Sim::new(5));
         let n = 50_000;
-        let sum: f64 = (0..n).map(|_| sample_exponential(&sim, 500.0)).sum();
+        let sum: f64 = (0..n).map(|_| exponential_rng(&rng, 500.0)).sum();
         let mean = sum / n as f64;
         assert!((450.0..550.0).contains(&mean), "mean {mean}");
     }
 
     #[test]
     fn normal_mean_and_var_are_close() {
-        let sim = Sim::new(6);
+        let rng = SimRng::shared(&Sim::new(6));
         let n = 50_000;
-        let xs: Vec<f64> = (0..n).map(|_| sample_standard_normal(&sim)).collect();
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal_rng(&rng)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");

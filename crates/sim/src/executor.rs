@@ -301,6 +301,7 @@ struct SimInner {
     free_slots: RefCell<Vec<usize>>,
     live_tasks: Cell<usize>,
     ready: Rc<ReadyQueue>,
+    seed: u64,
     rng: RefCell<SmallRng>,
     counters: Cell<SimCounters>,
 }
@@ -327,6 +328,7 @@ impl Sim {
                 free_slots: RefCell::new(Vec::new()),
                 live_tasks: Cell::new(0),
                 ready: Rc::new(ReadyQueue::default()),
+                seed,
                 rng: RefCell::new(SmallRng::seed_from_u64(seed)),
                 counters: Cell::new(SimCounters::default()),
             }),
@@ -347,6 +349,20 @@ impl Sim {
         let mut c = self.inner.counters.get();
         f(&mut c);
         self.inner.counters.set(c);
+    }
+
+    /// The seed this simulation was created with.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// A private random stream seeded purely from `(seed, label)`: its
+    /// draws consume nothing from — and are unaffected by — the shared
+    /// stream behind [`Sim::rand_u64`]. Independent subsystems (e.g. the
+    /// shards of a sharded cluster) each fork their own label so that extra
+    /// draws in one cannot perturb another; see [`crate::SimRng`].
+    pub fn fork_rng(&self, label: u64) -> crate::SimRng {
+        crate::SimRng::forked(self.inner.seed, label)
     }
 
     /// Draws a uniformly random `u64` from the simulation RNG.

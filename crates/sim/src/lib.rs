@@ -48,6 +48,7 @@ mod dist;
 mod executor;
 mod oneshot;
 mod resource;
+mod rng;
 mod stats;
 mod time;
 
@@ -59,5 +60,6 @@ pub use dist::Jitter;
 pub use executor::{Sim, SimCounters, Sleep, TaskId, YieldNow};
 pub use oneshot::{oneshot, OneshotReceiver, OneshotSender};
 pub use resource::FifoResource;
+pub use rng::SimRng;
 pub use stats::{Histogram, OnlineStats, TimeSeries};
 pub use time::{to_micros, to_secs, Nanos, NANOS_PER_MICRO, NANOS_PER_MILLI, NANOS_PER_SEC};

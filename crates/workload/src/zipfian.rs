@@ -3,6 +3,8 @@
 
 /// Zipfian distribution over `0..n` with parameter `theta` (YCSB default
 /// 0.99), plus an optional hash scramble decorrelating rank from key id.
+/// `theta = 0` degenerates to the uniform distribution (every key equally
+/// likely — the sharded scale bench's balanced-load workload).
 #[derive(Debug, Clone)]
 pub struct Zipfian {
     n: u64,
@@ -24,10 +26,10 @@ impl Zipfian {
     ///
     /// # Panics
     ///
-    /// Panics if `n == 0` or `theta` is not in `(0, 1)`.
+    /// Panics if `n == 0` or `theta` is not in `[0, 1)`.
     pub fn new(n: u64, theta: f64, scramble: bool) -> Self {
         assert!(n > 0);
-        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1)");
+        assert!((0.0..1.0).contains(&theta), "theta must be in [0,1)");
         let zetan = zeta(n, theta);
         let zeta2 = zeta(2, theta);
         let alpha = 1.0 / (1.0 - theta);
@@ -46,6 +48,15 @@ impl Zipfian {
     /// YCSB's default: theta = 0.99, scrambled.
     pub fn ycsb(n: u64) -> Self {
         Self::new(n, 0.99, true)
+    }
+
+    /// The uniform distribution over `0..n` (`theta = 0`; the Gray et al.
+    /// recurrence collapses to `rank = u * n` exactly). Unscrambled: with
+    /// no rank skew there is nothing to decorrelate, and skipping the
+    /// scramble keeps every key's probability exactly `1/n` (`hash % n`
+    /// collides occasionally).
+    pub fn uniform(n: u64) -> Self {
+        Self::new(n, 0.0, false)
     }
 
     /// Number of items.
@@ -181,5 +192,29 @@ mod tests {
             collisions <= 15,
             "too many hot-rank collisions: {collisions}"
         );
+    }
+
+    #[test]
+    fn uniform_theta_zero_is_flat() {
+        let z = Zipfian::uniform(1_000);
+        let n = 200_000;
+        let mut counts = vec![0u32; 1_000];
+        for u in uniform_stream(8, n) {
+            counts[z.sample(u) as usize] += 1;
+        }
+        // Every key sampled, none wildly over-represented: max/mean well
+        // under the ~13x a theta=.99 Zipfian would show.
+        let max = *counts.iter().max().unwrap() as f64;
+        let mean = n as f64 / 1_000.0;
+        assert!(counts.iter().all(|&c| c > 0), "a key was never sampled");
+        assert!(max / mean < 1.5, "uniform max/mean {:.2}", max / mean);
+    }
+
+    #[test]
+    fn uniform_rank_is_u_times_n() {
+        let z = Zipfian::uniform(10_000);
+        for u in uniform_stream(9, 1_000) {
+            assert_eq!(z.sample(u), (u * 10_000.0) as u64);
+        }
     }
 }

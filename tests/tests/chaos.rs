@@ -35,27 +35,14 @@ fn tagged(tag: u64) -> Vec<u8> {
 
 /// Seeds per (protocol, plan) cell: 2 by default (the pinned CI quick set),
 /// `SWARM_CHAOS_SEEDS=N` for deeper local sweeps. An unparsable value is
-/// ignored with a one-time warning (same convention as
-/// `SWARM_BENCH_OPS_SCALE`) — a silently shrunken sweep would report clean
-/// runs that never executed.
+/// ignored with a one-time warning (the shared `swarm_kv::env_knob`
+/// convention) — a silently shrunken sweep would report clean runs that
+/// never executed.
 fn chaos_seeds() -> Vec<u64> {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    let n = match std::env::var("SWARM_CHAOS_SEEDS") {
-        Err(_) => 2,
-        Ok(raw) => match raw.parse::<u64>() {
-            Ok(n) if n > 0 => n,
-            _ => {
-                static WARNED: AtomicBool = AtomicBool::new(false);
-                if !WARNED.swap(true, Ordering::Relaxed) {
-                    eprintln!(
-                        "warn: ignoring SWARM_CHAOS_SEEDS={raw:?}: \
-                         expected a positive integer like 400"
-                    );
-                }
-                2
-            }
-        },
-    };
+    let n = swarm_kv::env_knob("SWARM_CHAOS_SEEDS", "a positive integer like 400", |n| {
+        *n > 0
+    })
+    .unwrap_or(2u64);
     (0..n).map(|i| 0xC4A0_5000 + i * 7919).collect()
 }
 

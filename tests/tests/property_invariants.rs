@@ -63,12 +63,12 @@ proptest! {
         cap in 1usize..32,
         ops in proptest::collection::vec((any::<u8>(), any::<bool>()), 1..200),
     ) {
-        let sim = Sim::new(1);
+        let rng = swarm_sim::SimRng::shared(&Sim::new(1));
         let mut cache: LfuCache<u32> = LfuCache::new(cap);
         for (key, is_insert) in ops {
             let key = key as u64 % 64;
             if is_insert {
-                cache.insert(&sim, key, key as u32);
+                cache.insert(&rng, key, key as u32);
                 prop_assert_eq!(cache.get(key), Some(&(key as u32)));
             } else {
                 cache.remove(key);

@@ -1,0 +1,293 @@
+//! Chaos and determinism for sharded clusters: shard *independence* (a
+//! fault plan aimed at one shard must not perturb any other shard's
+//! execution), cross-shard linearizability through routers under faults,
+//! and bit-identical reproduction of sharded sweeps.
+//!
+//! The independence property leans on per-shard private RNG streams (see
+//! `swarm_sim::SimRng`): all shards share one simulation, but every
+//! shard's fabric jitter, drop rolls, index jitter, clocks, and caches
+//! fork from `(seed, shard label)`. The workers here likewise draw their
+//! op mix from forked streams, so the only channel left between shards is
+//! virtual time itself — which faults do not bend.
+
+use swarm_core::KvHistory;
+use swarm_fabric::{FaultPlan, NodeId, TrafficStats};
+use swarm_kv::{
+    run_workload, HistoryRecorder, KvStore, Protocol, RunConfig, ShardedCluster, StoreBuilder,
+};
+use swarm_sim::{Sim, NANOS_PER_MICRO, NANOS_PER_MILLI};
+
+const SHARDS: usize = 3;
+const CLIENTS_PER_SHARD: usize = 2;
+const OPS_PER_WORKER: u64 = 30;
+const VALUE_SIZE: usize = 64;
+const KEYS_PER_SHARD: usize = 8;
+const INITIAL_TAG_BASE: u64 = 1 << 32;
+
+fn tagged(tag: u64) -> Vec<u8> {
+    let mut v = vec![0u8; VALUE_SIZE];
+    v[..8].copy_from_slice(&tag.to_le_bytes());
+    v
+}
+
+fn build(sim: &Sim, shards: usize) -> ShardedCluster {
+    StoreBuilder::new(Protocol::SafeGuess)
+        .value_size(VALUE_SIZE)
+        .max_clients(CLIENTS_PER_SHARD * shards + 1)
+        .op_deadline_ns(2 * NANOS_PER_MILLI)
+        .shards(shards)
+        .build_sharded(sim)
+}
+
+/// The fault plan aimed at one shard's fabric: a crash+restart plus a drop
+/// window — the fault kinds that perturb timing *and* consume RNG draws on
+/// the shard they hit.
+fn shard_fault_plan() -> FaultPlan {
+    let us = NANOS_PER_MICRO;
+    FaultPlan::new()
+        .crash_at(60 * us, NodeId(0))
+        .restart_at(300 * us, NodeId(0))
+        .drop_window(80 * us, NodeId(2), 400, 250 * us)
+}
+
+/// One sharded chaos run with per-shard pinned traffic: every worker
+/// drives only keys owned by its shard, drawing ops and pauses from a
+/// private forked stream. Returns each shard's recorded history and
+/// traffic counters.
+fn run_pinned(seed: u64, fault_shard: Option<usize>) -> Vec<(KvHistory, TrafficStats)> {
+    let sim = Sim::new(seed);
+    let cluster = build(&sim, SHARDS);
+    let spec = cluster.spec();
+
+    // The first KEYS_PER_SHARD keys owned by each shard, deterministically.
+    let shard_keys: Vec<Vec<u64>> = (0..SHARDS)
+        .map(|s| {
+            (0u64..)
+                .filter(|&k| spec.shard_of(k) == s)
+                .take(KEYS_PER_SHARD)
+                .collect()
+        })
+        .collect();
+
+    let recorders: Vec<HistoryRecorder> = (0..SHARDS).map(|_| HistoryRecorder::new(&sim)).collect();
+    for (s, keys) in shard_keys.iter().enumerate() {
+        for (i, &k) in keys.iter().enumerate() {
+            let v = tagged(INITIAL_TAG_BASE + (s * KEYS_PER_SHARD + i) as u64);
+            cluster.load_key(k, &v);
+            recorders[s].set_initial(k, &v);
+        }
+    }
+    for s in 0..SHARDS {
+        if let Some(m) = cluster.shard(s).membership() {
+            m.watch_until(5 * NANOS_PER_MILLI);
+        }
+    }
+    if let Some(f) = fault_shard {
+        cluster
+            .shard(f)
+            .fabric()
+            .apply_fault_plan(&shard_fault_plan());
+    }
+
+    for s in 0..SHARDS {
+        for c in 0..CLIENTS_PER_SHARD {
+            let store = recorders[s].wrap(cluster.shard(s).client(s * CLIENTS_PER_SHARD + c));
+            let keys = shard_keys[s].clone();
+            // Private stream per worker: op choices cannot shift with
+            // another shard's draws.
+            let rng = sim.fork_rng(0xB0B0 + (s * CLIENTS_PER_SHARD + c) as u64);
+            let sim2 = sim.clone();
+            let mut tag = ((s * CLIENTS_PER_SHARD + c) as u64) << 24;
+            sim.spawn(async move {
+                for _ in 0..OPS_PER_WORKER {
+                    sim2.sleep_ns(rng.rand_range(1, 40 * NANOS_PER_MICRO)).await;
+                    let key = keys[rng.rand_range(0, keys.len() as u64) as usize];
+                    tag += 1;
+                    match rng.rand_range(0, 100) {
+                        0..=49 => {
+                            let _ = store.get(key).await;
+                        }
+                        50..=79 => {
+                            let _ = store.update(key, tagged(tag)).await;
+                        }
+                        80..=91 => {
+                            let _ = store.insert(key, tagged(tag)).await;
+                        }
+                        _ => {
+                            let _ = store.delete(key).await;
+                        }
+                    }
+                }
+            });
+        }
+    }
+    sim.run();
+    recorders
+        .into_iter()
+        .enumerate()
+        .map(|(s, rec)| (rec.take_history(), cluster.shard(s).fabric().stats()))
+        .collect()
+}
+
+/// The independence property: faulting shard 0 must leave shards 1 and 2
+/// with *bit-identical* histories and traffic counters versus a fault-free
+/// run — while visibly perturbing shard 0 itself.
+#[test]
+fn fault_on_one_shard_leaves_other_shards_bit_identical() {
+    for seed in [11u64, 12, 13] {
+        let healthy = run_pinned(seed, None);
+        let faulted = run_pinned(seed, Some(0));
+        assert_ne!(
+            healthy[0].1, faulted[0].1,
+            "seed {seed}: the fault plan must actually perturb shard 0"
+        );
+        for s in 1..SHARDS {
+            assert_eq!(
+                healthy[s].0, faulted[s].0,
+                "seed {seed}: shard {s}'s history changed under a shard-0 fault"
+            );
+            assert_eq!(
+                healthy[s].1, faulted[s].1,
+                "seed {seed}: shard {s}'s traffic changed under a shard-0 fault"
+            );
+        }
+        // And everything that survived still linearizes, fault or not.
+        for (s, (h, _)) in healthy.iter().chain(faulted.iter()).enumerate() {
+            h.check().unwrap_or_else(|e| {
+                panic!("seed {seed}: shard history {s} does not linearize: {e}")
+            });
+        }
+    }
+}
+
+/// Cross-shard traffic through routers stays linearizable per key while
+/// fault plans play out on two different shards at once.
+#[test]
+fn cross_shard_router_histories_linearize_under_faults() {
+    for seed in [21u64, 22] {
+        let (h, stats) = run_routed(seed);
+        assert_eq!(
+            h.len() as u64,
+            3 * OPS_PER_WORKER,
+            "seed {seed}: ops lost from the routed history"
+        );
+        assert!(stats.messages > 0, "seed {seed}: no traffic");
+        if let Err(e) = h.check() {
+            panic!("seed {seed}: sharded router history is NOT linearizable: {e}");
+        }
+    }
+}
+
+/// One routed chaos run: 3 routers fire a mixed stream over the whole
+/// keyspace while shards 0 and 2 run fault plans.
+fn run_routed(seed: u64) -> (KvHistory, TrafficStats) {
+    let sim = Sim::new(seed);
+    let cluster = build(&sim, 4);
+    let rec = HistoryRecorder::new(&sim);
+    let n_keys = 16u64;
+    for k in 0..n_keys {
+        let v = tagged(INITIAL_TAG_BASE + k);
+        cluster.load_key(k, &v);
+        rec.set_initial(k, &v);
+    }
+    for s in 0..4 {
+        if let Some(m) = cluster.shard(s).membership() {
+            m.watch_until(5 * NANOS_PER_MILLI);
+        }
+    }
+    cluster
+        .shard(0)
+        .fabric()
+        .apply_fault_plan(&shard_fault_plan());
+    cluster
+        .shard(2)
+        .fabric()
+        .apply_fault_plan(&FaultPlan::random(seed, 4, 500 * NANOS_PER_MICRO));
+
+    for cid in 0..3 {
+        let store = rec.wrap(cluster.router(cid));
+        let rng = sim.fork_rng(0xC1D0 + cid as u64);
+        let sim2 = sim.clone();
+        let mut tag = (cid as u64) << 24;
+        sim.spawn(async move {
+            for _ in 0..OPS_PER_WORKER {
+                sim2.sleep_ns(rng.rand_range(1, 40 * NANOS_PER_MICRO)).await;
+                let key = rng.rand_range(0, n_keys);
+                tag += 1;
+                match rng.rand_range(0, 100) {
+                    0..=49 => {
+                        let _ = store.get(key).await;
+                    }
+                    50..=79 => {
+                        let _ = store.update(key, tagged(tag)).await;
+                    }
+                    80..=91 => {
+                        let _ = store.insert(key, tagged(tag)).await;
+                    }
+                    _ => {
+                        let _ = store.delete(key).await;
+                    }
+                }
+            }
+        });
+    }
+    sim.run();
+    (rec.take_history(), cluster.stats())
+}
+
+/// Sharded chaos runs reproduce bit for bit from their seed, and the seed
+/// actually feeds the execution.
+#[test]
+fn sharded_runs_reproduce_bit_identically_per_seed() {
+    let (h1, s1) = run_routed(7);
+    let (h2, s2) = run_routed(7);
+    assert_eq!(h1, h2, "history diverged across reruns");
+    assert_eq!(s1, s2, "traffic diverged across reruns");
+    let (h3, _) = run_routed(8);
+    assert_ne!(h1, h3, "the seed is not feeding the sharded run");
+}
+
+/// A multi-seed sharded sweep — the bench_shards shape in miniature — is
+/// bit-identical cell for cell between sequential and threaded execution,
+/// and across reruns.
+#[test]
+fn sharded_sweep_is_thread_count_invariant_and_rerunnable() {
+    let cells: Vec<(u64, usize)> = [31u64, 32, 33]
+        .into_iter()
+        .flat_map(|seed| [(seed, 1usize), (seed, 4)])
+        .collect();
+    let run = |&(seed, shards): &(u64, usize)| {
+        let sim = Sim::new(seed);
+        let cluster = build(&sim, shards);
+        cluster.load_keys(64, |k| tagged(INITIAL_TAG_BASE + k));
+        let routers = cluster.routers(2);
+        let stats = run_workload(
+            &sim,
+            &routers,
+            &swarm_workload::Workload::ycsb(swarm_workload::WorkloadSpec::B, 64, VALUE_SIZE),
+            &RunConfig {
+                warmup_ops: 50,
+                measure_ops: 400,
+                ..Default::default()
+            },
+        );
+        let routed: Vec<u64> = routers.iter().flat_map(|r| r.routed_per_shard()).collect();
+        (
+            stats.measured_ops,
+            stats.throughput_ops().to_bits(),
+            cluster.stats(),
+            routed,
+        )
+    };
+    let sequential = swarm_bench::sweep_on(1, &cells, run);
+    let threaded = swarm_bench::sweep_on(4, &cells, run);
+    let rerun = swarm_bench::sweep_on(1, &cells, run);
+    for (((seed, shards), s), (t, r)) in cells
+        .iter()
+        .zip(&sequential)
+        .zip(threaded.iter().zip(&rerun))
+    {
+        assert_eq!(s, t, "seed {seed}/{shards} shards: threaded diverged");
+        assert_eq!(s, r, "seed {seed}/{shards} shards: rerun diverged");
+    }
+}
