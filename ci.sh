@@ -79,14 +79,19 @@ stage chaos-release env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
     cargo test --release -q -p swarm-tests --test chaos
 
 # Perf smoke: quick fig5 single-threaded, a 2-thread fig8 sweep, and the
-# sharded-router scale bench, all volume-scaled, under generous budgets.
-# Guards the event loop (fig5 runs full quick volume), the threaded sweep
-# driver, and the cross-shard router hot path from silent regressions.
+# sharded scale bench, all volume-scaled, under generous budgets. Guards
+# the event loop (fig5 runs full quick volume), the threaded sweep driver,
+# and the one-Sim-per-shard driver from silent regressions. bench_shards
+# runs twice — single shard thread, then SWARM_SHARD_THREADS=2 — so the
+# threaded path (scoped threads, work stealing, shard-order merge) gets a
+# perf-budgeted exercise; its stdout is bit-identical either way.
 BIN_DIR="${CARGO_TARGET_DIR:-target}/release"
 perf_stage fig5 60 env SWARM_BENCH_THREADS=1 "$BIN_DIR/fig5"
 perf_stage fig8 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 "$BIN_DIR/fig8"
 perf_stage bench_shards 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 \
-    "$BIN_DIR/bench_shards"
+    SWARM_SHARD_THREADS=1 "$BIN_DIR/bench_shards"
+perf_stage bench_shards-mt 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=1 \
+    SWARM_SHARD_THREADS=2 "$BIN_DIR/bench_shards"
 
 echo
 echo "CI OK"

@@ -12,15 +12,28 @@
 //! key alone draws ~8% of all traffic, so whichever shard owns it becomes
 //! the hot shard — visible directly in the imbalance column.
 //!
+//! # Execution model
+//!
+//! Every cell pre-plans its op streams (`swarm_kv::plan_workload`) and
+//! drives each shard on its **own seeded `Sim`**, one shard per OS thread
+//! (`swarm_kv::run_sharded_plan`): the two-level parallelism is
+//! `SWARM_BENCH_THREADS` sweep cells × `SWARM_SHARD_THREADS` shard threads
+//! per cell, capped to the available cores (`composed_threads`). All
+//! simulated numbers are bit-identical at any thread count, either level.
+//!
+//! **stdout is the deterministic report** (simulated metrics only; safe to
+//! diff across thread counts and hosts). Wall-clock seconds per cell and
+//! the wall-side weak-scaling efficiency — the real multi-core speedup the
+//! one-`Sim`-per-shard refactor buys — go to **stderr** and a separate
+//! `*_wall.csv`, since elapsed time is inherently nondeterministic.
+//!
 //! Default is a quick mode over a 2^17-key space; `--full` loads the
-//! million-key space (memory scales with clients × keys — the 16-shard
-//! full cell wants tens of GB, so prefer `SWARM_BENCH_THREADS=1` there).
-//! Every `(shards, distribution)` cell is an independent seeded
-//! simulation; the sweep runs them on `SWARM_BENCH_THREADS` OS threads and
-//! merges in cell order, so all numbers are bit-identical at any thread
-//! count.
+//! million-key space.
 
-use swarm_bench::{build_sharded, run_workload, sweep, write_csv, ExpParams, Protocol};
+use std::time::Instant;
+
+use swarm_bench::{composed_threads, env_scaled_keys, sweep_on, write_csv, ExpParams, Protocol};
+use swarm_kv::{plan_workload, run_sharded_plan, ShardMode, ShardRunOptions, ShardSpec};
 use swarm_workload::{WorkloadSpec, Zipfian};
 
 /// Client threads (routers) per shard: enough that a single group runs
@@ -42,10 +55,24 @@ impl Dist {
     }
 }
 
+/// One cell's results: simulated metrics (deterministic) plus the measured
+/// wall-clock seconds (not).
+struct CellResult {
+    tput_mops: f64,
+    measured_ops: u64,
+    op_imbalance: f64,
+    msg_imbalance: f64,
+    wall_secs: f64,
+}
+
 fn main() {
     let quick = !std::env::args().any(|a| a == "--full");
     let n_keys: u64 = if quick { 1 << 17 } else { 1 << 20 };
     let shard_counts: [usize; 5] = [1, 2, 4, 8, 16];
+    let (cell_threads, shard_threads) = composed_threads();
+    eprintln!(
+        "bench_shards: {cell_threads} sweep thread(s) x {shard_threads} shard thread(s) per cell"
+    );
 
     let mut cells = Vec::new();
     for dist in [Dist::Uniform, Dist::Zipfian99] {
@@ -54,7 +81,7 @@ fn main() {
         }
     }
 
-    let results = sweep(&cells, |&(dist, shards)| {
+    let results = sweep_on(cell_threads, &cells, |&(dist, shards)| {
         let clients = CLIENTS_PER_SHARD * shards;
         let p = ExpParams {
             n_keys,
@@ -67,49 +94,60 @@ fn main() {
             measure_ops: 1_500 * clients as u64,
             ..Default::default()
         };
-        let sim = swarm_sim::Sim::new(p.seed);
-        let bed = build_sharded(&sim, Protocol::SafeGuess, &p);
+        let builder = p.builder(Protocol::SafeGuess);
         let mut workload = p.workload(WorkloadSpec::B);
         if dist == Dist::Uniform {
             workload.keys = Zipfian::uniform(workload.keys.n());
         }
-        let stats = run_workload(&sim, &bed.routers, &workload, &p.run_config());
+        let plan = plan_workload(
+            p.seed,
+            ShardSpec::new(shards),
+            &workload,
+            &p.run_config(),
+            clients,
+        );
+        let opts = ShardRunOptions {
+            preload_keys: Some(env_scaled_keys(p.n_keys)),
+            ..Default::default()
+        };
+        let wall = Instant::now();
+        let run = run_sharded_plan(
+            &builder,
+            p.seed,
+            &plan,
+            &workload,
+            &opts,
+            ShardMode::Threads(shard_threads),
+        );
+        let wall_secs = wall.elapsed().as_secs_f64();
+        let stats = run.merged_stats();
 
-        // Per-shard routed-op counts, summed over routers.
-        let mut routed = vec![0u64; shards];
-        for r in &bed.routers {
-            for (s, n) in r.routed_per_shard().into_iter().enumerate() {
-                routed[s] += n;
-            }
-        }
         let max_over_mean = |counts: &[u64]| {
             let mean = counts.iter().sum::<u64>() as f64 / counts.len().max(1) as f64;
             counts.iter().copied().max().unwrap_or(0) as f64 / mean.max(1.0)
         };
-        let imbalance = max_over_mean(&routed);
+        // The plan knows every op's owning shard before anything runs: the
+        // routed-load imbalance is a pure function of (seed, workload).
+        let op_imbalance = max_over_mean(&plan.per_shard_op_counts());
         // The fabric-level view of the same skew: message counts include
         // retries and replica fan-out, so a hot shard's extra quorum
         // traffic shows up here even when op routing alone would hide it.
-        let per_shard_msgs: Vec<u64> = bed
-            .cluster
-            .per_shard_stats()
-            .iter()
-            .map(|s| s.messages)
-            .collect();
+        let per_shard_msgs: Vec<u64> = run.per_shard_traffic().iter().map(|s| s.messages).collect();
         let msg_imbalance = max_over_mean(&per_shard_msgs);
-        (
-            stats.throughput_ops() / 1e6,
-            stats.measured_ops,
-            imbalance,
+        CellResult {
+            tput_mops: stats.throughput_ops() / 1e6,
+            measured_ops: stats.measured_ops,
+            op_imbalance,
             msg_imbalance,
-        )
+            wall_secs,
+        }
     });
 
     let mut results = results.into_iter();
     for dist in [Dist::Uniform, Dist::Zipfian99] {
         println!(
             "bench_shards: SWARM-KV, YCSB B mix, {} distribution, {} keys, \
-             {CLIENTS_PER_SHARD} clients/shard",
+             {CLIENTS_PER_SHARD} clients/shard, one Sim per shard",
             dist.name(),
             n_keys
         );
@@ -118,25 +156,48 @@ fn main() {
             "shards", "clients", "tput_Mops", "per_client_k", "scale_eff", "op_imbal", "msg_imbal"
         );
         let mut rows = Vec::new();
+        let mut wall_rows = Vec::new();
         let mut base_per_client = 0.0;
+        let mut base_wall = 0.0;
         for &shards in &shard_counts {
-            let (tput, measured, imbalance, msg_imbalance) =
-                results.next().expect("one result per cell");
+            let r = results.next().expect("one result per cell");
             let clients = CLIENTS_PER_SHARD * shards;
-            let per_client = tput * 1e3 / clients as f64;
+            let per_client = r.tput_mops * 1e3 / clients as f64;
             if shards == 1 {
                 base_per_client = per_client;
+                base_wall = r.wall_secs;
             }
             // Weak-scaling efficiency: per-client throughput retained
             // relative to the 1-shard cell.
             let eff = per_client / base_per_client;
             println!(
                 "{:>7} {:>8} {:>11.2} {:>13.1} {:>9.2} {:>10.2}x {:>10.2}x",
-                shards, clients, tput, per_client, eff, imbalance, msg_imbalance
+                shards, clients, r.tput_mops, per_client, eff, r.op_imbalance, r.msg_imbalance
             );
             rows.push(format!(
-                "{shards},{clients},{tput:.4},{per_client:.2},{eff:.3},{imbalance:.3},\
-                 {msg_imbalance:.3},{measured}"
+                "{shards},{clients},{:.4},{per_client:.2},{eff:.3},{:.3},{:.3},{}",
+                r.tput_mops, r.op_imbalance, r.msg_imbalance, r.measured_ops
+            ));
+            // Wall-side weak scaling: per-shard work is constant, so with
+            // enough shard threads the S-shard cell should cost about what
+            // the 1-shard cell does (efficiency ~1.0); on one thread it
+            // degrades toward 1/S.
+            let wall_eff = if r.wall_secs > 0.0 {
+                base_wall / r.wall_secs
+            } else {
+                1.0
+            };
+            eprintln!(
+                "  wall {}: {:>2} shards: {:.3}s (weak-scaling eff {:.2} at \
+                 {shard_threads} shard thread(s))",
+                dist.name(),
+                shards,
+                r.wall_secs,
+                wall_eff
+            );
+            wall_rows.push(format!(
+                "{shards},{clients},{:.4},{wall_eff:.3},{shard_threads}",
+                r.wall_secs
             ));
         }
         write_csv(
@@ -145,10 +206,20 @@ fn main() {
             "shards,clients,tput_mops,per_client_kops,scale_eff,op_imbalance,msg_imbalance,measured_ops",
             &rows,
         );
+        write_csv(
+            "bench_shards",
+            &format!("{}_wall", dist.name()),
+            "shards,clients,wall_secs,wall_weak_eff,shard_threads",
+            &wall_rows,
+        );
         println!();
     }
-    println!("expectation: uniform throughput grows ~linearly with shards (weak");
-    println!("scaling past one fabric's saturation); Zipfian .99 concentrates ~8%");
-    println!("of ops on the hot key's shard, so imbalance rises well above 1.0x");
-    println!("and hot-shard queuing taxes the aggregate.");
+    println!("expectation: uniform throughput grows at least linearly with shards");
+    println!("(every router scatters its ops over every shard, so per-shard");
+    println!("pipelining deepens as clients grow with the shard count); Zipfian");
+    println!(".99 concentrates ~8% of ops on the hot key's shard, so imbalance");
+    println!("rises well above 1.0x and hot-shard queuing taxes the aggregate.");
+    println!("Wall-clock per cell and its weak-scaling efficiency (stderr +");
+    println!("*_wall.csv) track the real multi-core speedup of one-Sim-per-shard");
+    println!("execution.");
 }

@@ -26,18 +26,20 @@
 //! mode sized to finish in seconds each) and print the same rows/series the
 //! paper reports, plus CSVs under `target/experiments/`.
 //!
-//! The long sweep binaries (`fig7`–`fig9`, `fig13`, `bench_shards`) run
-//! their independent
+//! The long sweep binaries (`fig7`–`fig9`, `fig13`) run their independent
 //! `(seed, config)` cells on `SWARM_BENCH_THREADS` OS threads (default: all
 //! cores) via [`sweep`]; results are merged in deterministic cell order, so
-//! every number is identical at any thread count.
+//! every number is identical at any thread count. `bench_shards` adds a
+//! second level: inside each cell, every shard runs on its own `Sim` driven
+//! by `SWARM_SHARD_THREADS` OS threads (`swarm_kv::run_sharded_plan`), and
+//! [`composed_threads`] caps cells × shards to the available cores.
 //!
 //! Every system under test is built through [`swarm_kv::StoreBuilder`], so
 //! the four protocols share one construction and measurement path.
 
 mod sweep;
 
-pub use sweep::{sweep, sweep_on, sweep_threads};
+pub use sweep::{cap_thread_product, composed_threads, sweep, sweep_on, sweep_threads};
 
 use std::io::Write as _;
 use std::rc::Rc;

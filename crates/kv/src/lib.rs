@@ -79,6 +79,13 @@
 //! every operation lands in a multi-key history checkable with
 //! `swarm_core::KvHistory` — the machinery behind the chaos suite (see
 //! `TESTING.md`).
+//!
+//! For true multi-core sharded runs, [`plan_workload`] +
+//! [`run_sharded_plan`] pre-partition a workload into per-shard op streams
+//! and drive each shard on its *own* seeded `Sim` — sequentially, on
+//! `SWARM_SHARD_THREADS` OS threads ([`ShardMode`]), or on one shared
+//! simulation as a cross-check — with bit-identical per-shard outcomes in
+//! every mode (see `parallel.rs`'s module docs for the argument).
 
 mod builder;
 mod cache;
@@ -88,6 +95,7 @@ mod envknob;
 mod fusee;
 mod index;
 mod membership;
+mod parallel;
 mod recorder;
 mod runner;
 mod shard;
@@ -101,6 +109,10 @@ pub use envknob::{env_knob, parse_knob};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
+pub use parallel::{
+    plan_workload, run_sharded_plan, run_sharded_workload, shard_threads, OpOutcome, PlannedOp,
+    ShardMode, ShardOutcome, ShardRunOptions, ShardedRun, WorkloadPlan,
+};
 pub use recorder::{value_tag, HistoryRecorder, RecordingStore};
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
 pub use shard::{ShardRouter, ShardSpec, ShardedCluster};

@@ -1,0 +1,993 @@
+//! One-`Sim`-per-shard parallel execution of sharded workloads.
+//!
+//! [`ShardedCluster`](crate::ShardedCluster) builds every shard on a single
+//! event loop: correct, provably independent per shard (see
+//! [`crate::ShardSpec`]), and serialized onto one core. This module is the
+//! multi-core driver: the workload is **planned up front** into per-shard op
+//! streams, then every shard runs on its *own* `Sim::new(seed)` — solo on
+//! the calling thread, or one shard per OS thread — and the per-shard
+//! outcomes merge in deterministic shard order.
+//!
+//! # Why the executions line up bit for bit
+//!
+//! Three facts make the modes interchangeable:
+//!
+//! 1. Every random draw a shard makes comes from a private stream forked
+//!    from `(simulation seed, shard label)` — never from the shared stream
+//!    ([`StoreBuilder::build_one_shard`] sets the same labels
+//!    `build_sharded` would).
+//! 2. The op streams are **pre-planned** from per-router forked streams
+//!    ([`swarm_sim::SimRng::from_seed`]), so no runtime draw depends on
+//!    cross-shard scheduling.
+//! 3. The simulator orders events by `(time, sequence)` and sequence
+//!    numbers respect creation order, so a shard's events keep their
+//!    relative order whether or not another shard's events interleave.
+//!
+//! Therefore `Threads(n)` ≡ `Sequential` ≡ `SingleSim`, per shard, bit for
+//! bit — histories, traffic counters, latencies. The test suite's
+//! `shard_parallel` asserts exactly this across seeds, thread counts, and
+//! per-shard fault plans.
+//!
+//! Note the planned driver is a *different* client model from
+//! [`run_workload`](crate::run_workload) over routers: there, op generation
+//! draws from the shared stream at runtime and a router's per-shard clients
+//! share one CPU core. Cross-shard CPU sharing cannot exist once shards
+//! live on different OS threads, so here each `(router, shard)` pair is its
+//! own client and a router's cross-shard batch runs as per-shard slices.
+//! Numbers from the two drivers are each deterministic but not comparable
+//! to one another.
+//!
+//! # Thread confinement
+//!
+//! A `Sim` is `!Send` (Rc-based wakers); each worker thread *constructs*
+//! its shard's `Sim` + [`StoreCluster`] locally and only the `Send`
+//! [`ShardOutcome`] crosses threads — the same discipline as
+//! `swarm_bench::sweep`, one level down.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use swarm_core::KvHistory;
+use swarm_fabric::{FaultPlan, TrafficStats};
+use swarm_sim::{join2, Nanos, Sim, SimRng};
+use swarm_workload::{OpType, Workload};
+
+use crate::builder::{StoreBuilder, StoreCluster};
+use crate::cluster::derive_label;
+use crate::envknob::env_knob;
+#[cfg(test)]
+use crate::envknob::parse_knob;
+use crate::recorder::HistoryRecorder;
+use crate::runner::{RunConfig, RunStats};
+use crate::shard::ShardSpec;
+use crate::store::{KvError, KvStore, KvStoreExt};
+
+/// Base label the per-router planning streams fork from. Distinct from the
+/// shard labels (`SHARD_RNG_BASE`) and the chaos-worker labels, so planned
+/// op streams never collide with substrate streams.
+const PLAN_RNG_BASE: u64 = 0x504C_414E_0050_4C4E;
+
+/// The shard-thread count: `SWARM_SHARD_THREADS` if set (a positive
+/// integer), otherwise the number of available cores. Follows the shared
+/// warn-once [`env_knob`] convention (`SWARM_BENCH_THREADS`,
+/// `SWARM_BENCH_OPS_SCALE`, ...): garbage is ignored with a one-time
+/// stderr warning, never a panic.
+pub fn shard_threads() -> usize {
+    env_knob("SWARM_SHARD_THREADS", "a positive integer like 4", |n| {
+        *n >= 1
+    })
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+#[cfg(test)]
+fn parse_shard_threads(raw: Option<&str>) -> Option<usize> {
+    parse_knob(
+        "SWARM_SHARD_THREADS",
+        raw,
+        "a positive integer like 4",
+        |n| *n >= 1,
+    )
+}
+
+/// How to drive the per-shard simulations of a planned run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMode {
+    /// All shards on one shared `Sim` (the classic `ShardedCluster`
+    /// shape): the cross-check that per-shard solo executions replay the
+    /// shared-simulation ones.
+    SingleSim,
+    /// One solo `Sim` per shard, driven to completion one after another on
+    /// the calling thread.
+    Sequential,
+    /// One solo `Sim` per shard, shards claimed work-stealing by this many
+    /// OS threads. `Threads(1)` behaves exactly like `Sequential`.
+    Threads(usize),
+}
+
+impl ShardMode {
+    /// `Threads(n)` with `n` from `SWARM_SHARD_THREADS` (default: all
+    /// cores).
+    pub fn from_env() -> ShardMode {
+        ShardMode::Threads(shard_threads())
+    }
+}
+
+/// One pre-planned operation: what to do, against which key, carrying the
+/// globally unique version its payload is derived from
+/// (`Workload::value_for(key, version)` is pure, so payloads need not be
+/// materialized until execution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedOp {
+    /// The router (logical application thread) this op belongs to.
+    pub router: usize,
+    /// Position in that router's op stream (reassembly index).
+    pub pos: usize,
+    /// Operation kind.
+    pub op: OpType,
+    /// Target key.
+    pub key: u64,
+    /// Globally unique payload version (assigned in planning order).
+    pub version: u64,
+}
+
+/// One shard's slice of one router batch: the ops of a single router batch
+/// owned by one shard, issued together (pipelined when the plan's batch
+/// size exceeds 1).
+#[derive(Debug, Clone)]
+struct Slice {
+    measured: bool,
+    ops: Vec<PlannedOp>,
+}
+
+/// A workload partitioned up front into per-shard, per-router op streams:
+/// [`crate::ShardRouter`]'s stateless grouping, applied before execution
+/// instead of per call. Built by [`plan_workload`]; executed by
+/// [`run_sharded_plan`].
+pub struct WorkloadPlan {
+    spec: ShardSpec,
+    routers: usize,
+    /// The effective (env-scaled) run configuration the plan was cut to.
+    cfg: RunConfig,
+    /// Ops per router (warm-up + measured), for result reassembly.
+    per_router_ops: Vec<usize>,
+    /// `slices[shard][router]` = that router's slices on that shard, in
+    /// stream order.
+    slices: Vec<Vec<Vec<Slice>>>,
+}
+
+impl WorkloadPlan {
+    /// The keyspace partitioning the plan routed by.
+    pub fn spec(&self) -> ShardSpec {
+        self.spec
+    }
+
+    /// Number of router streams.
+    pub fn routers(&self) -> usize {
+        self.routers
+    }
+
+    /// Total planned ops (warm-up + measured) across all routers.
+    pub fn ops_total(&self) -> u64 {
+        self.per_router_ops.iter().map(|&n| n as u64).sum()
+    }
+
+    /// Planned ops per shard, in shard order (warm-up + measured): the
+    /// routed-load view, deterministic before anything runs — what the
+    /// scale bench reports imbalance from.
+    pub fn per_shard_op_counts(&self) -> Vec<u64> {
+        self.slices
+            .iter()
+            .map(|routers| {
+                routers
+                    .iter()
+                    .flat_map(|slices| slices.iter().map(|sl| sl.ops.len() as u64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// The effective run configuration (after `SWARM_BENCH_OPS_SCALE`).
+    pub fn effective_config(&self) -> &RunConfig {
+        &self.cfg
+    }
+}
+
+/// Plans `cfg.warmup_ops + cfg.measure_ops` operations of `workload`
+/// across `routers` logical application threads, pre-routed onto the
+/// shards of `spec`.
+///
+/// Each router draws its `(op, key)` stream from a private fork of
+/// `(seed, router label)` — the same fork-label scheme the shards
+/// themselves use — so the plan depends only on `(seed, spec, workload,
+/// cfg, routers)`, never on execution interleaving. Versions are assigned
+/// globally in planning order, so every mutation payload is unique, as
+/// under [`run_workload`](crate::run_workload).
+///
+/// Ops are chunked into router batches of `cfg.batch` (warm-up and
+/// measured phases never share a batch), and every batch is split into
+/// per-shard slices: the cross-shard multi-op grouping
+/// [`crate::ShardRouter`] performs per call, applied up front.
+///
+/// # Panics
+///
+/// Panics on knobs the planned driver does not support (`concurrency > 1`,
+/// pacing, deadlines, time series, roundtrip recording, prewarm): those
+/// describe runtime feedback loops that cannot be planned ahead, so they
+/// stay with `run_workload`.
+pub fn plan_workload(
+    seed: u64,
+    spec: ShardSpec,
+    workload: &Workload,
+    cfg: &RunConfig,
+    routers: usize,
+) -> WorkloadPlan {
+    assert!(routers >= 1, "a plan needs at least one router stream");
+    let cfg = cfg.env_scaled();
+    assert!(
+        cfg.concurrency == 1
+            && cfg.pace_ns.is_none()
+            && cfg.deadline_ns.is_none()
+            && cfg.bucket_ns.is_none()
+            && cfg.prewarm_keys.is_none()
+            && !cfg.record_rtts,
+        "the planned shard driver supports warmup/measure/batch/op_overhead only; \
+         use run_workload for paced, deadlined, or rtt-recorded runs"
+    );
+    assert!(cfg.batch >= 1, "batch size must be at least 1");
+
+    let mut slices: Vec<Vec<Vec<Slice>>> = vec![vec![Vec::new(); routers]; spec.shards()];
+    let mut per_router_ops = Vec::with_capacity(routers);
+    let mut version = 0u64;
+    // `r` is a router *id* (rng label, `PlannedOp::router`), not just an
+    // index into `slices` — iterator rewrites obscure that.
+    #[allow(clippy::needless_range_loop)]
+    for r in 0..routers {
+        let share =
+            |total: u64| total / routers as u64 + u64::from((r as u64) < total % routers as u64);
+        let warm = share(cfg.warmup_ops);
+        let meas = share(cfg.measure_ops);
+        per_router_ops.push((warm + meas) as usize);
+        let rng = SimRng::from_seed(seed, derive_label(PLAN_RNG_BASE, r as u64, routers as u64));
+        let mut pos = 0usize;
+        for (phase_ops, measured) in [(warm, false), (meas, true)] {
+            let mut left = phase_ops;
+            while left > 0 {
+                let batch = left.min(cfg.batch as u64);
+                left -= batch;
+                // One router batch, split by owning shard in input order.
+                let mut per_shard: Vec<Vec<PlannedOp>> = vec![Vec::new(); spec.shards()];
+                for _ in 0..batch {
+                    let (op, key) = workload.next_op(rng.rand_u64(), rng.rand_f64());
+                    version += 1;
+                    per_shard[spec.shard_of(key)].push(PlannedOp {
+                        router: r,
+                        pos,
+                        op,
+                        key,
+                        version,
+                    });
+                    pos += 1;
+                }
+                for (s, ops) in per_shard.into_iter().enumerate() {
+                    if !ops.is_empty() {
+                        slices[s][r].push(Slice { measured, ops });
+                    }
+                }
+            }
+        }
+    }
+    WorkloadPlan {
+        spec,
+        routers,
+        cfg,
+        per_router_ops,
+        slices,
+    }
+}
+
+/// What to set up around a planned run, per shard.
+#[derive(Debug, Clone, Default)]
+pub struct ShardRunOptions {
+    /// Bulk-load keys `0..n` with `workload.value_for(key, 0)` payloads,
+    /// each into its owning shard, before the run.
+    pub preload_keys: Option<u64>,
+    /// Fault plans by shard index, applied to that shard's fabric before
+    /// workers start. Pair with `StoreBuilder::op_deadline_ns` so workers
+    /// stay live when a fault makes a quorum unreachable.
+    pub faults: Vec<(usize, FaultPlan)>,
+    /// Record every op into a per-shard [`KvHistory`]
+    /// (linearizability-checkable; also the strongest bit-parity witness).
+    pub record_history: bool,
+    /// Keep every op's [`OpOutcome`] for input-order reassembly via
+    /// [`ShardedRun::results`]. Off for benches (memory).
+    pub collect_results: bool,
+    /// Run each shard's membership watcher until this virtual time.
+    pub watch_until_ns: Option<Nanos>,
+}
+
+/// The `Send` result of one operation, reassembled across shards
+/// (payloads are copied out of the shard-confined `Rc`s).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OpOutcome {
+    /// A get that found a value.
+    Value(Vec<u8>),
+    /// A get that observed absence.
+    Absent,
+    /// A mutation that applied.
+    Done,
+    /// An operation that failed.
+    Failed(KvError),
+}
+
+/// Everything that leaves one shard's simulation: plain `Send` data — the
+/// `Sim`, its wakers, and every `Rc` stay confined to the thread that
+/// built them.
+pub struct ShardOutcome {
+    /// Shard index.
+    pub shard: usize,
+    /// This shard's measured-op statistics.
+    pub stats: RunStats,
+    /// This shard's fabric traffic after the simulation fully drained.
+    pub traffic: TrafficStats,
+    /// The shard's recorded history (when
+    /// [`ShardRunOptions::record_history`]).
+    pub history: Option<KvHistory>,
+    /// `(router, pos, outcome)` per op (when
+    /// [`ShardRunOptions::collect_results`]), in shard completion order.
+    pub results: Vec<(usize, usize, OpOutcome)>,
+}
+
+/// A completed planned run: per-shard outcomes in shard order, plus the
+/// deterministic merges. Identical whatever [`ShardMode`] produced it.
+pub struct ShardedRun {
+    per_shard: Vec<ShardOutcome>,
+    per_router_ops: Vec<usize>,
+}
+
+impl ShardedRun {
+    /// Per-shard outcomes, in shard order.
+    pub fn per_shard(&self) -> &[ShardOutcome] {
+        &self.per_shard
+    }
+
+    /// One shard's outcome.
+    pub fn shard(&self, s: usize) -> &ShardOutcome {
+        &self.per_shard[s]
+    }
+
+    /// Aggregate run statistics, merged in shard order: latency histograms
+    /// concatenate shard 0, 1, ... (so percentiles are over the union),
+    /// op counts sum, and the measurement window spans the earliest start
+    /// to the latest end.
+    pub fn merged_stats(&self) -> RunStats {
+        let mut latency: HashMap<OpType, swarm_sim::Histogram> = HashMap::new();
+        let mut out = RunStats {
+            start_ns: Nanos::MAX,
+            ..Default::default()
+        };
+        for o in &self.per_shard {
+            for (&op, h) in &o.stats.latency {
+                latency.entry(op).or_default().merge(h);
+            }
+            out.measured_ops += o.stats.measured_ops;
+            out.failed_ops += o.stats.failed_ops;
+            if o.stats.measured_ops > 0 {
+                out.start_ns = out.start_ns.min(o.stats.start_ns);
+                out.end_ns = out.end_ns.max(o.stats.end_ns);
+            }
+        }
+        if out.measured_ops == 0 {
+            out.start_ns = 0;
+        }
+        out.latency = latency;
+        out
+    }
+
+    /// Aggregate fabric traffic across shards.
+    pub fn total_traffic(&self) -> TrafficStats {
+        let mut total = TrafficStats::default();
+        for o in &self.per_shard {
+            total += o.traffic;
+        }
+        total
+    }
+
+    /// Per-shard fabric traffic, in shard order.
+    pub fn per_shard_traffic(&self) -> Vec<TrafficStats> {
+        self.per_shard.iter().map(|o| o.traffic).collect()
+    }
+
+    /// Per-shard recorded histories, in shard order (requires
+    /// [`ShardRunOptions::record_history`]).
+    pub fn histories(&self) -> Vec<&KvHistory> {
+        self.per_shard
+            .iter()
+            .map(|o| o.history.as_ref().expect("run with record_history"))
+            .collect()
+    }
+
+    /// Every op's outcome reassembled into input order:
+    /// `results()[router][pos]`, exactly as a [`crate::ShardRouter`] batch
+    /// returns in-order results. Requires
+    /// [`ShardRunOptions::collect_results`].
+    pub fn results(&self) -> Vec<Vec<OpOutcome>> {
+        let mut out: Vec<Vec<Option<OpOutcome>>> =
+            self.per_router_ops.iter().map(|&n| vec![None; n]).collect();
+        for o in &self.per_shard {
+            for (router, pos, outcome) in &o.results {
+                out[*router][*pos] = Some(outcome.clone());
+            }
+        }
+        out.into_iter()
+            .map(|router| {
+                router
+                    .into_iter()
+                    .map(|r| r.expect("run with collect_results: every op lands exactly once"))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+/// Executes a [`WorkloadPlan`] against `builder`'s sharded store under
+/// `mode`, returning per-shard outcomes merged in shard order.
+///
+/// The outcome is bit-identical across every mode and thread count: the
+/// whole point of the pre-planned driver. `builder` must be configured
+/// with the same shard count the plan was cut for, and with `max_clients`
+/// covering the plan's router count.
+pub fn run_sharded_plan(
+    builder: &StoreBuilder,
+    seed: u64,
+    plan: &WorkloadPlan,
+    workload: &Workload,
+    opts: &ShardRunOptions,
+    mode: ShardMode,
+) -> ShardedRun {
+    assert_eq!(
+        builder.num_shards(),
+        plan.spec.shards(),
+        "builder and plan disagree on the shard count"
+    );
+    let shards = plan.spec.shards();
+    let per_shard = match mode {
+        ShardMode::SingleSim => {
+            let sim = Sim::new(seed);
+            let clusters: Vec<StoreCluster> = (0..shards)
+                .map(|s| builder.build_one_shard(&sim, s))
+                .collect();
+            let tasks: Vec<ShardTasks> = clusters
+                .iter()
+                .enumerate()
+                .map(|(s, cluster)| setup_shard(&sim, cluster, plan, workload, opts, s))
+                .collect();
+            sim.run();
+            clusters
+                .iter()
+                .zip(tasks)
+                .enumerate()
+                .map(|(s, (cluster, tasks))| finish_shard(s, cluster, tasks))
+                .collect()
+        }
+        ShardMode::Sequential => (0..shards)
+            .map(|s| run_one_shard(builder, seed, plan, workload, opts, s))
+            .collect(),
+        ShardMode::Threads(n) => {
+            let n = n.clamp(1, shards);
+            if n <= 1 {
+                (0..shards)
+                    .map(|s| run_one_shard(builder, seed, plan, workload, opts, s))
+                    .collect()
+            } else {
+                // Work stealing over shards, exactly the sweep driver's
+                // shape: a shared claim counter, per-shard result slots,
+                // results read back in shard order.
+                let next = AtomicUsize::new(0);
+                let slots: Vec<Mutex<Option<ShardOutcome>>> =
+                    (0..shards).map(|_| Mutex::new(None)).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..n {
+                        scope.spawn(|| loop {
+                            let s = next.fetch_add(1, Ordering::Relaxed);
+                            if s >= shards {
+                                break;
+                            }
+                            let out = run_one_shard(builder, seed, plan, workload, opts, s);
+                            *slots[s].lock().expect("shard slot poisoned") = Some(out);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|m| {
+                        m.into_inner()
+                            .expect("shard slot poisoned")
+                            .expect("every claimed shard stores an outcome")
+                    })
+                    .collect()
+            }
+        }
+    };
+    ShardedRun {
+        per_shard,
+        per_router_ops: plan.per_router_ops.clone(),
+    }
+}
+
+/// Plans and runs in one call: the front door for benches and tests that
+/// do not need to inspect or reuse the [`WorkloadPlan`].
+pub fn run_sharded_workload(
+    builder: &StoreBuilder,
+    seed: u64,
+    workload: &Workload,
+    cfg: &RunConfig,
+    routers: usize,
+    opts: &ShardRunOptions,
+    mode: ShardMode,
+) -> ShardedRun {
+    let plan = plan_workload(
+        seed,
+        ShardSpec::new(builder.num_shards()),
+        workload,
+        cfg,
+        routers,
+    );
+    run_sharded_plan(builder, seed, &plan, workload, opts, mode)
+}
+
+/// Builds, preloads, faults, and runs shard `s` alone on its own seeded
+/// `Sim`, on the calling thread.
+fn run_one_shard(
+    builder: &StoreBuilder,
+    seed: u64,
+    plan: &WorkloadPlan,
+    workload: &Workload,
+    opts: &ShardRunOptions,
+    s: usize,
+) -> ShardOutcome {
+    let sim = Sim::new(seed);
+    let cluster = builder.build_one_shard(&sim, s);
+    let tasks = setup_shard(&sim, &cluster, plan, workload, opts, s);
+    sim.run();
+    finish_shard(s, &cluster, tasks)
+}
+
+/// The shard-confined run state workers write into.
+struct ShardTasks {
+    rec: Option<HistoryRecorder>,
+    stats: Rc<RefCell<RunStats>>,
+    results: Rc<RefCell<Vec<(usize, usize, OpOutcome)>>>,
+    active: Rc<Cell<usize>>,
+}
+
+/// Preloads, watches, faults, and spawns shard `s`'s workers — identically
+/// whether `sim` is the shard's solo simulation or a shared one.
+fn setup_shard(
+    sim: &Sim,
+    cluster: &StoreCluster,
+    plan: &WorkloadPlan,
+    workload: &Workload,
+    opts: &ShardRunOptions,
+    s: usize,
+) -> ShardTasks {
+    let rec = opts.record_history.then(|| HistoryRecorder::new(sim));
+    if let Some(n) = opts.preload_keys {
+        // Ascending key order: each shard loads exactly the keys it owns,
+        // in the same order in every mode.
+        for key in 0..n {
+            if plan.spec.shard_of(key) == s {
+                let v = workload.value_for(key, 0);
+                cluster.load_key(key, &v);
+                if let Some(rec) = &rec {
+                    rec.set_initial(key, &v);
+                }
+            }
+        }
+    }
+    if let Some(deadline) = opts.watch_until_ns {
+        if let Some(m) = cluster.membership() {
+            m.watch_until(deadline);
+        }
+    }
+    for (fault_shard, fault_plan) in &opts.faults {
+        if *fault_shard == s {
+            cluster.fabric().apply_fault_plan(fault_plan);
+        }
+    }
+
+    let stats = Rc::new(RefCell::new(RunStats::default()));
+    let results = Rc::new(RefCell::new(Vec::new()));
+    let active = Rc::new(Cell::new(0usize));
+    for r in 0..plan.routers {
+        let slices = &plan.slices[s][r];
+        if slices.is_empty() {
+            continue;
+        }
+        active.set(active.get() + 1);
+        let client = cluster.client(r);
+        let results = opts.collect_results.then(|| Rc::clone(&results));
+        match &rec {
+            Some(rec) => spawn_shard_worker(
+                sim,
+                rec.wrap(client),
+                slices.clone(),
+                workload.clone(),
+                plan.cfg.clone(),
+                Rc::clone(&stats),
+                results,
+                Rc::clone(&active),
+            ),
+            None => spawn_shard_worker(
+                sim,
+                client,
+                slices.clone(),
+                workload.clone(),
+                plan.cfg.clone(),
+                Rc::clone(&stats),
+                results,
+                Rc::clone(&active),
+            ),
+        }
+    }
+    ShardTasks {
+        rec,
+        stats,
+        results,
+        active,
+    }
+}
+
+/// Extracts the `Send` outcome once shard `s`'s simulation drained.
+fn finish_shard(s: usize, cluster: &StoreCluster, tasks: ShardTasks) -> ShardOutcome {
+    assert_eq!(
+        tasks.active.get(),
+        0,
+        "shard {s}: simulation drained with workers still pending \
+         (set StoreBuilder::op_deadline_ns when running fault plans)"
+    );
+    ShardOutcome {
+        shard: s,
+        stats: Rc::try_unwrap(tasks.stats)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|_| panic!("shard {s}: stats still shared after drain")),
+        traffic: cluster.fabric().stats(),
+        history: tasks.rec.map(|r| r.take_history()),
+        results: Rc::try_unwrap(tasks.results)
+            .map(RefCell::into_inner)
+            .unwrap_or_else(|_| panic!("shard {s}: results still shared after drain")),
+    }
+}
+
+type ResultSink = Rc<RefCell<Vec<(usize, usize, OpOutcome)>>>;
+
+/// One shard-side worker: runs one router's slices on this shard, in
+/// stream order, mirroring the runner's semantics — per-op client CPU
+/// work, pipelined multi-ops for batched slices, measured-only stats.
+#[allow(clippy::too_many_arguments)]
+fn spawn_shard_worker<S: KvStore + 'static>(
+    sim: &Sim,
+    store: Rc<S>,
+    slices: Vec<Slice>,
+    workload: Workload,
+    cfg: RunConfig,
+    stats: Rc<RefCell<RunStats>>,
+    results: Option<ResultSink>,
+    active: Rc<Cell<usize>>,
+) {
+    let sim2 = sim.clone();
+    sim.spawn(async move {
+        for slice in &slices {
+            // Client-side CPU work is paid per op element, batched or not
+            // (the runner's accounting, §7.2).
+            store
+                .endpoint()
+                .work(cfg.op_overhead_ns * slice.ops.len() as u64)
+                .await;
+            if cfg.batch > 1 {
+                run_slice_batched(&sim2, &store, slice, &workload, &stats, results.as_ref()).await;
+            } else {
+                run_slice_sequential(&sim2, &store, slice, &workload, &stats, results.as_ref())
+                    .await;
+            }
+        }
+        active.set(active.get() - 1);
+    });
+}
+
+/// Executes a slice one op at a time (the plan's batch size is 1, so each
+/// slice holds a single op).
+async fn run_slice_sequential<S: KvStore>(
+    sim: &Sim,
+    store: &Rc<S>,
+    slice: &Slice,
+    workload: &Workload,
+    stats: &Rc<RefCell<RunStats>>,
+    results: Option<&ResultSink>,
+) {
+    for op in &slice.ops {
+        let t0 = sim.now();
+        let (ok, outcome) = execute_one(store, op, workload).await;
+        let t1 = sim.now();
+        if slice.measured {
+            record_measured(&mut stats.borrow_mut(), op.op, t0, t1, ok);
+        }
+        if let Some(results) = results {
+            results.borrow_mut().push((op.router, op.pos, outcome));
+        }
+    }
+}
+
+async fn execute_one<S: KvStore>(
+    store: &Rc<S>,
+    op: &PlannedOp,
+    workload: &Workload,
+) -> (bool, OpOutcome) {
+    match op.op {
+        OpType::Get => match store.get(op.key).await {
+            Ok(Some(v)) => (true, OpOutcome::Value((*v).clone())),
+            // The runner counts an absent get as a failed op.
+            Ok(None) => (false, OpOutcome::Absent),
+            Err(e) => (false, OpOutcome::Failed(e)),
+        },
+        OpType::Update => mutated(
+            store
+                .update(op.key, workload.value_for(op.key, op.version))
+                .await,
+        ),
+        OpType::Insert => mutated(
+            store
+                .insert(op.key, workload.value_for(op.key, op.version))
+                .await,
+        ),
+        OpType::Delete => mutated(store.delete(op.key).await),
+    }
+}
+
+fn mutated(r: Result<(), KvError>) -> (bool, OpOutcome) {
+    match r {
+        Ok(()) => (true, OpOutcome::Done),
+        Err(e) => (false, OpOutcome::Failed(e)),
+    }
+}
+
+/// Executes a slice as one pipelined multi-op round (the runner's batched
+/// worker): gets/updates/inserts fan out concurrently, deletes follow
+/// sequentially, and every element pays the whole slice's latency.
+async fn run_slice_batched<S: KvStore>(
+    sim: &Sim,
+    store: &Rc<S>,
+    slice: &Slice,
+    workload: &Workload,
+    stats: &Rc<RefCell<RunStats>>,
+    results: Option<&ResultSink>,
+) {
+    let mut gets: Vec<&PlannedOp> = Vec::new();
+    let mut updates: Vec<&PlannedOp> = Vec::new();
+    let mut inserts: Vec<&PlannedOp> = Vec::new();
+    let mut deletes: Vec<&PlannedOp> = Vec::new();
+    for op in &slice.ops {
+        match op.op {
+            OpType::Get => gets.push(op),
+            OpType::Update => updates.push(op),
+            OpType::Insert => inserts.push(op),
+            OpType::Delete => deletes.push(op),
+        }
+    }
+    let get_keys: Vec<u64> = gets.iter().map(|o| o.key).collect();
+    let value_ops = |ops: &[&PlannedOp]| -> Vec<(u64, Vec<u8>)> {
+        ops.iter()
+            .map(|o| (o.key, workload.value_for(o.key, o.version)))
+            .collect()
+    };
+    let update_ops = value_ops(&updates);
+    let insert_ops = value_ops(&inserts);
+
+    let t0 = sim.now();
+    let (got, (updated, inserted)) = join2(
+        store.multi_get(&get_keys),
+        join2(
+            store.multi_update(&update_ops),
+            store.multi_insert(&insert_ops),
+        ),
+    )
+    .await;
+    let mut deleted = Vec::with_capacity(deletes.len());
+    for op in &deletes {
+        deleted.push(store.delete(op.key).await);
+    }
+    let t1 = sim.now();
+
+    let finish = |op: &PlannedOp, ok: bool, outcome: OpOutcome| {
+        if slice.measured {
+            record_measured(&mut stats.borrow_mut(), op.op, t0, t1, ok);
+        }
+        if let Some(results) = results {
+            results.borrow_mut().push((op.router, op.pos, outcome));
+        }
+    };
+    for (op, r) in gets.iter().zip(got) {
+        let (ok, outcome) = match r {
+            Ok(Some(v)) => (true, OpOutcome::Value((*v).clone())),
+            Ok(None) => (false, OpOutcome::Absent),
+            Err(e) => (false, OpOutcome::Failed(e)),
+        };
+        finish(op, ok, outcome);
+    }
+    for (op, r) in updates.iter().zip(updated) {
+        let (ok, outcome) = mutated(r);
+        finish(op, ok, outcome);
+    }
+    for (op, r) in inserts.iter().zip(inserted) {
+        let (ok, outcome) = mutated(r);
+        finish(op, ok, outcome);
+    }
+    for (op, r) in deletes.iter().zip(deleted) {
+        let (ok, outcome) = mutated(r);
+        finish(op, ok, outcome);
+    }
+}
+
+fn record_measured(stats: &mut RunStats, op: OpType, t0: Nanos, t1: Nanos, ok: bool) {
+    if stats.measured_ops == 0 {
+        stats.start_ns = t0;
+    }
+    stats.measured_ops += 1;
+    stats.end_ns = stats.end_ns.max(t1);
+    if !ok {
+        stats.failed_ops += 1;
+    }
+    stats.latency.entry(op).or_default().record(t1 - t0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Protocol;
+    use swarm_workload::WorkloadSpec;
+
+    #[test]
+    fn shard_threads_knob_parses_falls_back_and_warns_once() {
+        // Unset: fall back (to available cores) without a warning.
+        assert_eq!(parse_shard_threads(None), None);
+        // Valid values apply.
+        assert_eq!(parse_shard_threads(Some("1")), Some(1));
+        assert_eq!(parse_shard_threads(Some("16")), Some(16));
+        // Garbage and out-of-domain values are rejected (warn-once is the
+        // shared env_knob machinery, covered by its own tests; here we pin
+        // that rejection never panics and repeats consistently).
+        for bad in ["banana", "", "0", "-3", "2.5"] {
+            assert_eq!(parse_shard_threads(Some(bad)), None, "{bad:?}");
+            assert_eq!(parse_shard_threads(Some(bad)), None, "{bad:?} again");
+        }
+        // The env-reading path always lands on a usable count.
+        assert!(shard_threads() >= 1);
+    }
+
+    #[test]
+    fn plan_partitions_every_op_exactly_once() {
+        let spec = ShardSpec::new(4);
+        let wl = Workload::ycsb(WorkloadSpec::A, 256, 64);
+        let cfg = RunConfig {
+            warmup_ops: 37,
+            measure_ops: 101,
+            batch: 8,
+            ..Default::default()
+        };
+        let plan = plan_workload(7, spec, &wl, &cfg, 3);
+        assert_eq!(plan.ops_total(), 138);
+        assert_eq!(plan.per_shard_op_counts().iter().sum::<u64>(), 138);
+        assert_eq!(plan.routers(), 3);
+        // Uneven splits: 37 = 13+12+12, 101 = 34+34+33.
+        assert_eq!(plan.per_router_ops, vec![13 + 34, 12 + 34, 12 + 33]);
+        // Every (router, pos) appears exactly once across all shards.
+        let mut seen = std::collections::BTreeSet::new();
+        for shard in &plan.slices {
+            for router in shard {
+                for slice in router {
+                    assert!(!slice.ops.is_empty(), "no empty slices are stored");
+                    assert!(slice.ops.len() <= 8, "a slice never exceeds the batch");
+                    for op in &slice.ops {
+                        assert!(seen.insert((op.router, op.pos)), "duplicate op");
+                        assert_eq!(
+                            spec.shard_of(op.key),
+                            plan.slices
+                                .iter()
+                                .position(|sh| std::ptr::eq(sh, shard))
+                                .unwrap()
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(seen.len(), 138);
+    }
+
+    #[test]
+    fn plan_batches_never_straddle_the_measurement_boundary() {
+        let spec = ShardSpec::new(2);
+        let wl = Workload::ycsb(WorkloadSpec::B, 128, 64);
+        let cfg = RunConfig {
+            warmup_ops: 10,
+            measure_ops: 10,
+            batch: 8,
+            ..Default::default()
+        };
+        // One router: warm-up 10 chunks as 8+2, measured 10 as 8+2 — never
+        // a mixed batch.
+        let plan = plan_workload(3, spec, &wl, &cfg, 1);
+        let mut versions = Vec::new();
+        for shard in &plan.slices {
+            for slice in &shard[0] {
+                for op in &slice.ops {
+                    versions.push((op.pos, op.version, slice.measured));
+                }
+            }
+        }
+        versions.sort_unstable();
+        for (i, &(pos, version, measured)) in versions.iter().enumerate() {
+            assert_eq!(pos, i);
+            assert_eq!(version, i as u64 + 1, "versions are global and dense");
+            assert_eq!(measured, pos >= 10, "phase boundary respected at op {pos}");
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_seed_sensitive() {
+        let spec = ShardSpec::new(3);
+        let wl = Workload::ycsb(WorkloadSpec::B, 512, 64);
+        let cfg = RunConfig {
+            warmup_ops: 20,
+            measure_ops: 60,
+            ..Default::default()
+        };
+        let keys = |seed: u64| -> Vec<u64> {
+            let plan = plan_workload(seed, spec, &wl, &cfg, 2);
+            let mut ops: Vec<(usize, usize, u64)> = plan
+                .slices
+                .iter()
+                .flatten()
+                .flatten()
+                .flat_map(|sl| sl.ops.iter().map(|o| (o.router, o.pos, o.key)))
+                .collect();
+            ops.sort_unstable();
+            ops.into_iter().map(|(_, _, k)| k).collect()
+        };
+        assert_eq!(keys(5), keys(5), "same seed, same plan");
+        assert_ne!(keys(5), keys(6), "the seed feeds the plan");
+    }
+
+    #[test]
+    fn threads_one_matches_sequential() {
+        let builder = StoreBuilder::new(Protocol::SafeGuess)
+            .value_size(64)
+            .max_clients(2)
+            .shards(2);
+        let wl = Workload::ycsb(WorkloadSpec::B, 64, 64);
+        let cfg = RunConfig {
+            warmup_ops: 10,
+            measure_ops: 50,
+            ..Default::default()
+        };
+        let opts = ShardRunOptions {
+            preload_keys: Some(64),
+            record_history: true,
+            ..Default::default()
+        };
+        let run = |mode| run_sharded_workload(&builder, 9, &wl, &cfg, 2, &opts, mode);
+        let seq = run(ShardMode::Sequential);
+        let one = run(ShardMode::Threads(1));
+        assert_eq!(seq.histories(), one.histories());
+        assert_eq!(seq.per_shard_traffic(), one.per_shard_traffic());
+        assert_eq!(
+            seq.merged_stats().throughput_ops().to_bits(),
+            one.merged_stats().throughput_ops().to_bits()
+        );
+    }
+}

@@ -90,7 +90,7 @@ impl RunConfig {
     /// volume knob: op counts, prewarm keys, and the virtual-time deadline.
     /// The bench smoke test sets it so every figure binary exercises its
     /// full pipeline in a fraction of the quick-mode volume.
-    fn env_scaled(&self) -> RunConfig {
+    pub(crate) fn env_scaled(&self) -> RunConfig {
         self.scaled_by(ops_scale())
     }
 

@@ -24,6 +24,17 @@
 //!   simulation being single-threaded — `Sim` and all spawned futures are
 //!   `!Send`, and wakers must never cross threads (asserted in debug
 //!   builds on every wake).
+//! * **Multi-core by independence, not by sharing.** A `Sim` never leaves
+//!   its thread, but nothing stops a host from running *several* `Sim`s on
+//!   several threads, one whole simulation per thread, as long as only
+//!   `Send` results (plain data) move out at the end. Independent seeded
+//!   streams for such co-simulations come from [`SimRng::from_seed`] /
+//!   [`Sim::fork_rng`] with distinct labels: `SimRng::from_seed(seed, l)`
+//!   on a fresh `Sim::new(seed)` yields the exact stream `fork_rng(l)`
+//!   yields inside a bigger simulation, which is what lets `swarm-kv`
+//!   rebuild one keyspace shard alone — on its own `Sim`, on its own OS
+//!   thread — bit-identical to that shard's execution alongside its
+//!   siblings.
 //! * **Microsecond fidelity.** Virtual time is in nanoseconds; latency models
 //!   live in `swarm-fabric`, but the primitives (timers, FIFO resources,
 //!   jitter distributions) live here.

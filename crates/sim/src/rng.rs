@@ -67,6 +67,22 @@ impl SimRng {
         }
     }
 
+    /// The exact stream `Sim::new(seed).fork_rng(label)` would return,
+    /// without needing a `Sim`.
+    ///
+    /// This is the bridge between one *root seed* and many independent
+    /// simulations: every `Sim::new(seed)` — however many of them exist, on
+    /// whatever threads — forks the same private stream for the same label,
+    /// and this constructor lets a workload planner draw from those streams
+    /// *before* (or without) building any simulation. The one-`Sim`-per-
+    /// shard driver in `swarm-kv` leans on this: shard simulations all carry
+    /// the root seed, per-shard divergence comes entirely from fork labels,
+    /// and the pre-partitioned op streams are planned from the same labels
+    /// on the coordinating thread.
+    pub fn from_seed(seed: u64, label: u64) -> Self {
+        Self::forked(seed, label)
+    }
+
     /// True if this handle draws from a private fork rather than the shared
     /// stream.
     pub fn is_private(&self) -> bool {
@@ -182,6 +198,22 @@ mod tests {
         let again = Sim::new(11).fork_rng(0);
         assert_ne!(again.rand_u64(), other_seed.rand_u64());
         assert!(again.is_private());
+    }
+
+    #[test]
+    fn from_seed_matches_fork_rng() {
+        // The sim-free constructor must be byte-compatible with forking off
+        // a live simulation — it is how pre-planned workload streams and
+        // per-shard simulations on other threads line up.
+        let via_sim: Vec<u64> = {
+            let f = Sim::new(77).fork_rng(0xD00D);
+            (0..8).map(|_| f.rand_u64()).collect()
+        };
+        let direct: Vec<u64> = {
+            let f = SimRng::from_seed(77, 0xD00D);
+            (0..8).map(|_| f.rand_u64()).collect()
+        };
+        assert_eq!(via_sim, direct);
     }
 
     #[test]

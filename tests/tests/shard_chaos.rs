@@ -247,6 +247,71 @@ fn sharded_runs_reproduce_bit_identically_per_seed() {
     assert_ne!(h1, h3, "the seed is not feeding the sharded run");
 }
 
+/// The independence property under the one-`Sim`-per-shard threaded
+/// driver: faulting shard 0 of a planned multi-thread run must leave every
+/// other shard's history and traffic *byte-identical* to the fault-free
+/// run — the same contract `fault_on_one_shard_leaves_other_shards_
+/// bit_identical` proves on a shared simulation, re-proven where each
+/// shard lives on its own OS thread.
+#[test]
+fn threaded_driver_fault_on_one_shard_leaves_others_bit_identical() {
+    use swarm_kv::{plan_workload, run_sharded_plan, ShardMode, ShardRunOptions, ShardSpec};
+
+    let shards = 3;
+    let run = |seed: u64, faulted: bool| {
+        let b = StoreBuilder::new(Protocol::SafeGuess)
+            .value_size(VALUE_SIZE)
+            .max_clients(CLIENTS_PER_SHARD)
+            .op_deadline_ns(2 * NANOS_PER_MILLI)
+            .shards(shards);
+        let wl = swarm_workload::Workload::ycsb(swarm_workload::WorkloadSpec::A, 24, VALUE_SIZE);
+        let cfg = RunConfig {
+            warmup_ops: 0,
+            measure_ops: 180,
+            ..Default::default()
+        };
+        let plan = plan_workload(seed, ShardSpec::new(shards), &wl, &cfg, CLIENTS_PER_SHARD);
+        let opts = ShardRunOptions {
+            preload_keys: Some(24),
+            faults: if faulted {
+                vec![(0, shard_fault_plan())]
+            } else {
+                Vec::new()
+            },
+            record_history: true,
+            watch_until_ns: Some(5 * NANOS_PER_MILLI),
+            ..Default::default()
+        };
+        run_sharded_plan(&b, seed, &plan, &wl, &opts, ShardMode::Threads(shards))
+    };
+    for seed in [71u64, 72] {
+        let healthy = run(seed, false);
+        let faulted = run(seed, true);
+        assert_ne!(
+            healthy.per_shard_traffic()[0],
+            faulted.per_shard_traffic()[0],
+            "seed {seed}: the fault plan must actually perturb shard 0"
+        );
+        for s in 1..shards {
+            assert_eq!(
+                healthy.histories()[s],
+                faulted.histories()[s],
+                "seed {seed}: shard {s}'s history changed under a shard-0 fault"
+            );
+            assert_eq!(
+                healthy.per_shard_traffic()[s],
+                faulted.per_shard_traffic()[s],
+                "seed {seed}: shard {s}'s traffic changed under a shard-0 fault"
+            );
+        }
+        for (s, h) in faulted.histories().into_iter().enumerate() {
+            h.check().unwrap_or_else(|e| {
+                panic!("seed {seed}: faulted shard history {s} does not linearize: {e}")
+            });
+        }
+    }
+}
+
 /// A multi-seed sharded sweep — the bench_shards shape in miniature — is
 /// bit-identical cell for cell between sequential and threaded execution,
 /// and across reruns.
