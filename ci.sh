@@ -78,6 +78,14 @@ stage build-release cargo build --release
 stage chaos-release env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
     cargo test --release -q -p swarm-tests --test chaos
 
+# Mid-migration chaos: online splits with source crashes, destination
+# crashes (abort path), and membership-driven rebuilds, each replayed
+# bit-identically across all three ShardModes. The same SWARM_CHAOS_SEEDS
+# knob widens the per-scenario seed sweep (default 8 here vs the suite's
+# debug-mode floor of 4).
+stage reshard-chaos env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
+    cargo test --release -q -p swarm-tests --test reshard_chaos
+
 # Perf smoke: quick fig5 single-threaded, a 2-thread fig8 sweep, and the
 # sharded scale bench, all volume-scaled, under generous budgets. Guards
 # the event loop (fig5 runs full quick volume), the threaded sweep driver,
@@ -92,6 +100,11 @@ perf_stage bench_shards 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2
     SWARM_SHARD_THREADS=1 "$BIN_DIR/bench_shards"
 perf_stage bench_shards-mt 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=1 \
     SWARM_SHARD_THREADS=2 "$BIN_DIR/bench_shards"
+# The elastic-split timeline: wall time is dominated by the fixed 140 ms
+# simulated horizon (two cells), so the volume knob mainly shrinks the
+# preloaded keyspace; the split still has to seal or the bench fails.
+perf_stage bench_reshard 60 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 \
+    "$BIN_DIR/bench_reshard"
 
 echo
 echo "CI OK"

@@ -81,7 +81,8 @@ mod value;
 pub use hash::{innout_hash, xxh64};
 pub use innout::{InnOutLayout, InnOutReplica};
 pub use linearize::{
-    History, HistoryOp, KvHistory, KvHistoryOp, KvOpKind, NonLinearizable, OpKind, MAX_OPS_PER_KEY,
+    CheckError, History, HistoryOp, KvHistory, KvHistoryOp, KvOpKind, NonLinearizable, OpKind,
+    MAX_OPS_PER_KEY,
 };
 pub use maxreg::ReliableMaxReg;
 pub use safeguess::{Abd, ReadOutcome, ReadPath, SafeGuess, WritePath};

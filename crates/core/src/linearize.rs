@@ -103,6 +103,57 @@ impl std::fmt::Display for NonLinearizable {
 
 impl std::error::Error for NonLinearizable {}
 
+/// Why [`KvHistory::check`] could not certify a history: either a genuine
+/// linearizability violation, or a key whose subhistory is too large for
+/// the `u128`-bitmask search to examine at all. The distinction matters to
+/// harnesses: the former is a correctness bug in the system under test,
+/// the latter a bug in the *test* (record fewer ops per key, or shard the
+/// workload), and conflating them — or panicking mid-suite, as the checker
+/// once did — would hide which side failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckError {
+    /// A key's subhistory admits no linearization.
+    NonLinearizable(NonLinearizable),
+    /// A key saw more operations than the search supports; the history was
+    /// **not** checked.
+    TooManyOps {
+        /// The overloaded key.
+        key: u64,
+        /// Operations recorded on it.
+        ops: usize,
+        /// The supported maximum ([`MAX_OPS_PER_KEY`]).
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::NonLinearizable(e) => e.fmt(f),
+            CheckError::TooManyOps { key, ops, max } => write!(
+                f,
+                "key {key} has {ops} ops; the checker supports at most {max} per key \
+                 (history not checked)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckError::NonLinearizable(e) => Some(e),
+            CheckError::TooManyOps { .. } => None,
+        }
+    }
+}
+
+impl From<NonLinearizable> for CheckError {
+    fn from(e: NonLinearizable) -> Self {
+        CheckError::NonLinearizable(e)
+    }
+}
+
 /// A recorded multi-key concurrent history.
 #[derive(Debug, Default, Clone, PartialEq, Eq)]
 pub struct KvHistory {
@@ -175,11 +226,11 @@ impl KvHistory {
     /// unambiguous operation, while ambiguous ones may be applied or
     /// discarded.
     ///
-    /// # Panics
-    ///
-    /// Panics if any single key has more than [`MAX_OPS_PER_KEY`]
-    /// operations.
-    pub fn check(&self) -> Result<(), NonLinearizable> {
+    /// A key with more than [`MAX_OPS_PER_KEY`] operations fails with
+    /// [`CheckError::TooManyOps`] instead of being searched (the completion
+    /// set is a `u128` bitmask): an over-recorded history is a harness bug,
+    /// reported as such rather than as a panic mid-suite.
+    pub fn check(&self) -> Result<(), CheckError> {
         let mut by_key: HashMap<u64, Vec<&KvHistoryOp>> = HashMap::new();
         for op in &self.ops {
             by_key.entry(op.key).or_default().push(op);
@@ -189,16 +240,18 @@ impl KvHistory {
         keys.sort_unstable();
         for key in keys {
             let ops = &by_key[&key];
-            assert!(
-                ops.len() <= MAX_OPS_PER_KEY,
-                "key {key} has {} ops; the checker supports at most {MAX_OPS_PER_KEY} per key",
-                ops.len()
-            );
-            if !check_key(ops, self.initial.get(&key).copied()) {
-                return Err(NonLinearizable {
+            if ops.len() > MAX_OPS_PER_KEY {
+                return Err(CheckError::TooManyOps {
                     key,
                     ops: ops.len(),
+                    max: MAX_OPS_PER_KEY,
                 });
+            }
+            if !check_key(ops, self.initial.get(&key).copied()) {
+                return Err(CheckError::NonLinearizable(NonLinearizable {
+                    key,
+                    ops: ops.len(),
+                }));
             }
         }
         Ok(())
@@ -453,7 +506,13 @@ mod tests {
         // Cross-key value confusion is caught per key.
         let mut bad = h.clone();
         bad.push(1, 8, 9, KvOpKind::Get(Some(20)));
-        assert_eq!(bad.check(), Err(NonLinearizable { key: 1, ops: 3 }));
+        assert_eq!(
+            bad.check(),
+            Err(CheckError::NonLinearizable(NonLinearizable {
+                key: 1,
+                ops: 3
+            }))
+        );
     }
 
     #[test]
@@ -566,6 +625,32 @@ mod tests {
         h.push_ambiguous(1, 2, KvOpKind::Delete);
         assert_eq!(h.len(), 2);
         assert_eq!(h.definite_ops(), 1);
+    }
+
+    #[test]
+    fn oversized_key_subhistory_is_a_typed_error_not_a_panic() {
+        // One key over the u128-bitmask budget: the checker must refuse
+        // with TooManyOps (naming the key), not panic and not silently
+        // "pass" an unchecked history.
+        let mut h = KvHistory::new();
+        for i in 0..(MAX_OPS_PER_KEY as u64 + 1) {
+            h.push(7, 2 * i, 2 * i + 1, KvOpKind::Insert(i));
+        }
+        assert_eq!(
+            h.check(),
+            Err(CheckError::TooManyOps {
+                key: 7,
+                ops: MAX_OPS_PER_KEY + 1,
+                max: MAX_OPS_PER_KEY,
+            })
+        );
+        assert!(!h.is_linearizable());
+        // Exactly at the limit the search runs (and this history passes).
+        let mut ok = KvHistory::new();
+        for i in 0..(MAX_OPS_PER_KEY as u64) {
+            ok.push(9, 2 * i, 2 * i + 1, KvOpKind::Insert(i));
+        }
+        assert_eq!(ok.check(), Ok(()));
     }
 
     #[test]

@@ -100,6 +100,7 @@ pub(crate) const ROLE_FABRIC: u64 = 1;
 pub(crate) const ROLE_INDEX: u64 = 2;
 pub(crate) const ROLE_CLOCK: u64 = 3;
 pub(crate) const ROLE_CACHE: u64 = 4;
+pub(crate) const ROLE_RESHARD: u64 = 5;
 
 /// Control-plane record of one key's replica allocation.
 #[derive(Debug, Clone)]

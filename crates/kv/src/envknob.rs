@@ -56,6 +56,43 @@ where
     }
 }
 
+/// Default pacing of a migration copy stream when `SWARM_RESHARD_RATE` is
+/// unset: one key every 2 µs (500 K keys/s) — fast enough to finish a quick
+/// split inside a bench run, slow enough that foreground traffic keeps the
+/// upper hand on the shared fabric.
+pub(crate) const DEFAULT_RESHARD_PACE_NS: u64 = 2_000;
+
+/// The elastic-resharding pacing knob: `SWARM_RESHARD_RATE` caps the
+/// migration copy stream at this many keys per (virtual) second. Follows
+/// the shared warn-once convention: unset means the default rate, garbage
+/// is ignored with a one-time stderr warning.
+pub fn reshard_rate() -> Option<f64> {
+    parse_reshard_rate(std::env::var("SWARM_RESHARD_RATE").ok().as_deref())
+}
+
+fn parse_reshard_rate(raw: Option<&str>) -> Option<f64> {
+    parse_knob(
+        "SWARM_RESHARD_RATE",
+        raw,
+        "a positive keys-per-second rate like 250000",
+        |v: &f64| v.is_finite() && *v > 0.0,
+    )
+}
+
+/// Nanoseconds between migrated keys for a copy rate of `rate` keys/s
+/// (`None` = the default pace; floor 1 ns so absurd rates stay causal).
+pub(crate) fn pace_ns_for_rate(rate: Option<f64>) -> u64 {
+    match rate {
+        Some(r) => ((1e9 / r) as u64).max(1),
+        None => DEFAULT_RESHARD_PACE_NS,
+    }
+}
+
+/// The effective per-key migration pace from the environment.
+pub(crate) fn reshard_pace_ns() -> u64 {
+    pace_ns_for_rate(reshard_rate())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -103,6 +140,25 @@ mod tests {
                 });
             assert_eq!(v, None, "{bad:?} must be rejected");
         }
+    }
+
+    #[test]
+    fn reshard_rate_knob_parses_and_rejects_like_its_siblings() {
+        // Unset: the default pace applies, no warning.
+        assert_eq!(parse_reshard_rate(None), None);
+        assert_eq!(pace_ns_for_rate(None), DEFAULT_RESHARD_PACE_NS);
+        assert!(!WARNED.lock().unwrap().contains("SWARM_RESHARD_RATE"));
+        // Valid rates translate to a per-key pace.
+        assert_eq!(parse_reshard_rate(Some("250000")), Some(250_000.0));
+        assert_eq!(pace_ns_for_rate(Some(250_000.0)), 4_000);
+        assert_eq!(pace_ns_for_rate(Some(1e9)), 1);
+        // Absurdly fast rates floor at 1 ns (stay causal, never 0).
+        assert_eq!(pace_ns_for_rate(Some(1e18)), 1);
+        // Garbage and out-of-domain rates are rejected, warn-once, no panic.
+        for bad in ["banana", "", "0", "-5", "inf", "NaN"] {
+            assert_eq!(parse_reshard_rate(Some(bad)), None, "{bad:?}");
+        }
+        assert!(WARNED.lock().unwrap().contains("SWARM_RESHARD_RATE"));
     }
 
     #[test]

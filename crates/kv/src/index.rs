@@ -190,6 +190,16 @@ impl<L: Clone + 'static> Index<L> {
         self.inner.map.borrow().get(&key).cloned()
     }
 
+    /// Control-plane enumeration of the live keys, ascending (no network
+    /// cost). The migration copy driver walks a shard's keyspace with it;
+    /// sorting makes the walk order independent of hash-map internals, so
+    /// a migration replays bit-identically.
+    pub fn keys_sorted(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self.inner.map.borrow().keys().copied().collect();
+        keys.sort_unstable();
+        keys
+    }
+
     /// Number of live mappings.
     pub fn len(&self) -> usize {
         self.inner.map.borrow().len()

@@ -21,6 +21,12 @@
 //!   [`ShardRouter`] clients ([`ShardSpec`] is the stateless key→shard
 //!   hash; each shard draws from private RNG streams so faults on one
 //!   shard cannot perturb another — see [`ShardedCluster`]).
+//! * The static layout can be reconfigured online: [`ElasticShard`] runs
+//!   the elastic-resharding subsystem ([`reshard`](crate::ShardMap)) —
+//!   a generation-stamped routing table plus a copy/double-write/seal
+//!   migration protocol that splits, merges, or rebuilds replica groups
+//!   mid-run while every concurrent client stays linearizable. Stale
+//!   routes bounce with [`KvError::WrongShard`].
 //!
 //! ```
 //! use swarm_kv::{CacheCapacity, KvStore, KvStoreExt, Protocol, StoreBuilder};
@@ -97,6 +103,7 @@ mod index;
 mod membership;
 mod parallel;
 mod recorder;
+mod reshard;
 mod runner;
 mod shard;
 mod store;
@@ -114,6 +121,10 @@ pub use parallel::{
     ShardMode, ShardOutcome, ShardRunOptions, ShardedRun, WorkloadPlan,
 };
 pub use recorder::{value_tag, HistoryRecorder, RecordingStore};
+pub use reshard::{
+    split_point, ElasticClient, ElasticShard, ReshardAction, ReshardEvent, ReshardStats, Segment,
+    ShardMap,
+};
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
 pub use shard::{ShardRouter, ShardSpec, ShardedCluster};
 pub use store::{KvError, KvResult, KvStore, KvStoreExt};

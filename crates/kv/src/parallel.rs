@@ -61,6 +61,7 @@ use crate::envknob::env_knob;
 #[cfg(test)]
 use crate::envknob::parse_knob;
 use crate::recorder::HistoryRecorder;
+use crate::reshard::{ElasticShard, ReshardEvent, ReshardStats};
 use crate::runner::{RunConfig, RunStats};
 use crate::shard::ShardSpec;
 use crate::store::{KvError, KvStore, KvStoreExt};
@@ -310,6 +311,18 @@ pub struct ShardRunOptions {
     pub collect_results: bool,
     /// Run each shard's membership watcher until this virtual time.
     pub watch_until_ns: Option<Nanos>,
+    /// Scheduled elastic-resharding events (see `crate::reshard`). A shard
+    /// with at least one event is wrapped in an [`ElasticShard`] family:
+    /// its workers route through [`crate::ElasticClient`]s (stale epochs
+    /// bounce and re-resolve), and each event runs as a simulation task at
+    /// its virtual time — so migrations replay bit-identically in every
+    /// [`ShardMode`], like everything else in a planned run. Requires
+    /// `StoreBuilder::max_clients(routers + 1)`: the family reserves the
+    /// top client id for its migration driver. A `Rebuild` event needs its
+    /// dead node actually crashed (via [`ShardRunOptions::faults`]) and
+    /// [`ShardRunOptions::watch_until_ns`] armed past the crash, or the
+    /// membership verdict it waits for never arrives.
+    pub reshards: Vec<ReshardEvent>,
 }
 
 /// The `Send` result of one operation, reassembled across shards
@@ -342,6 +355,10 @@ pub struct ShardOutcome {
     /// `(router, pos, outcome)` per op (when
     /// [`ShardRunOptions::collect_results`]), in shard completion order.
     pub results: Vec<(usize, usize, OpOutcome)>,
+    /// The shard family's migration counters, when the shard ran with
+    /// [`ShardRunOptions::reshards`] events (another bit-parity witness:
+    /// epochs, seals, bounces, and copied keys must agree across modes).
+    pub reshard: Option<ReshardStats>,
 }
 
 /// A completed planned run: per-shard outcomes in shard order, plus the
@@ -466,7 +483,7 @@ pub fn run_sharded_plan(
             let tasks: Vec<ShardTasks> = clusters
                 .iter()
                 .enumerate()
-                .map(|(s, cluster)| setup_shard(&sim, cluster, plan, workload, opts, s))
+                .map(|(s, cluster)| setup_shard(&sim, cluster, builder, plan, workload, opts, s))
                 .collect();
             sim.run();
             clusters
@@ -554,7 +571,7 @@ fn run_one_shard(
 ) -> ShardOutcome {
     let sim = Sim::new(seed);
     let cluster = builder.build_one_shard(&sim, s);
-    let tasks = setup_shard(&sim, &cluster, plan, workload, opts, s);
+    let tasks = setup_shard(&sim, &cluster, builder, plan, workload, opts, s);
     sim.run();
     finish_shard(s, &cluster, tasks)
 }
@@ -565,6 +582,9 @@ struct ShardTasks {
     stats: Rc<RefCell<RunStats>>,
     results: Rc<RefCell<Vec<(usize, usize, OpOutcome)>>>,
     active: Rc<Cell<usize>>,
+    /// The elastic family wrapping this shard, when
+    /// [`ShardRunOptions::reshards`] scheduled events on it.
+    family: Option<Rc<ElasticShard>>,
 }
 
 /// Preloads, watches, faults, and spawns shard `s`'s workers — identically
@@ -572,12 +592,21 @@ struct ShardTasks {
 fn setup_shard(
     sim: &Sim,
     cluster: &StoreCluster,
+    builder: &StoreBuilder,
     plan: &WorkloadPlan,
     workload: &Workload,
     opts: &ShardRunOptions,
     s: usize,
 ) -> ShardTasks {
     let rec = opts.record_history.then(|| HistoryRecorder::new(sim));
+    let family = opts.reshards.iter().any(|e| e.shard == s).then(|| {
+        assert!(
+            builder.max_client_count() > plan.routers,
+            "elastic resharding reserves the top client id for the migration \
+             driver: configure StoreBuilder::max_clients(routers + 1)"
+        );
+        ElasticShard::new(sim, builder, cluster.clone(), builder.shard_label(s))
+    });
     if let Some(n) = opts.preload_keys {
         // Ascending key order: each shard loads exactly the keys it owns,
         // in the same order in every mode.
@@ -611,12 +640,14 @@ fn setup_shard(
             continue;
         }
         active.set(active.get() + 1);
-        let client = cluster.client(r);
         let results = opts.collect_results.then(|| Rc::clone(&results));
-        match &rec {
-            Some(rec) => spawn_shard_worker(
+        // Four client shapes, one worker: elastic shards route through the
+        // family (bounce-aware), static shards talk to the cluster
+        // directly; either may be wrapped in the history recorder.
+        match (&family, &rec) {
+            (Some(f), Some(rec)) => spawn_shard_worker(
                 sim,
-                rec.wrap(client),
+                rec.wrap(f.client(r)),
                 slices.clone(),
                 workload.clone(),
                 plan.cfg.clone(),
@@ -624,9 +655,29 @@ fn setup_shard(
                 results,
                 Rc::clone(&active),
             ),
-            None => spawn_shard_worker(
+            (Some(f), None) => spawn_shard_worker(
                 sim,
-                client,
+                f.client(r),
+                slices.clone(),
+                workload.clone(),
+                plan.cfg.clone(),
+                Rc::clone(&stats),
+                results,
+                Rc::clone(&active),
+            ),
+            (None, Some(rec)) => spawn_shard_worker(
+                sim,
+                rec.wrap(cluster.client(r)),
+                slices.clone(),
+                workload.clone(),
+                plan.cfg.clone(),
+                Rc::clone(&stats),
+                results,
+                Rc::clone(&active),
+            ),
+            (None, None) => spawn_shard_worker(
+                sim,
+                cluster.client(r),
                 slices.clone(),
                 workload.clone(),
                 plan.cfg.clone(),
@@ -636,11 +687,17 @@ fn setup_shard(
             ),
         }
     }
+    if let Some(f) = &family {
+        for ev in opts.reshards.iter().filter(|e| e.shard == s) {
+            f.run_event(ev);
+        }
+    }
     ShardTasks {
         rec,
         stats,
         results,
         active,
+        family,
     }
 }
 
@@ -652,16 +709,23 @@ fn finish_shard(s: usize, cluster: &StoreCluster, tasks: ShardTasks) -> ShardOut
         "shard {s}: simulation drained with workers still pending \
          (set StoreBuilder::op_deadline_ns when running fault plans)"
     );
+    // An elastic shard's traffic spans every replica group it built, in
+    // group order; a static shard's is its one fabric.
+    let (traffic, reshard) = match &tasks.family {
+        Some(f) => (f.traffic(), Some(f.stats())),
+        None => (cluster.fabric().stats(), None),
+    };
     ShardOutcome {
         shard: s,
         stats: Rc::try_unwrap(tasks.stats)
             .map(RefCell::into_inner)
             .unwrap_or_else(|_| panic!("shard {s}: stats still shared after drain")),
-        traffic: cluster.fabric().stats(),
+        traffic,
         history: tasks.rec.map(|r| r.take_history()),
         results: Rc::try_unwrap(tasks.results)
             .map(RefCell::into_inner)
             .unwrap_or_else(|_| panic!("shard {s}: results still shared after drain")),
+        reshard,
     }
 }
 

@@ -123,6 +123,10 @@ fn mutation_outcome(r: &KvResult<()>, intended: KvOpKind) -> Outcome {
         // Capacity is a global resource, not per-key state: a refusal is
         // legal at any point and changes nothing.
         Err(KvError::IndexFull) => Outcome::Definite(KvOpKind::FailNoop),
+        // Bounced before touching per-key state: the addressed group no
+        // longer owned the key (routing-epoch mismatch, see
+        // `crate::reshard`), so nothing was observed and nothing changed.
+        Err(KvError::WrongShard { .. }) => Outcome::Definite(KvOpKind::FailNoop),
     }
 }
 

@@ -40,6 +40,7 @@ use swarm_sim::{join_boxed, BoxFuture, FifoResource, Sim};
 
 use crate::builder::{Protocol, StoreClient, StoreCluster};
 use crate::cluster::derive_label;
+use crate::reshard::ShardMap;
 use crate::store::{KvResult, KvStore, KvStoreExt};
 
 /// Base label the per-shard RNG streams are derived from (see
@@ -171,6 +172,7 @@ impl ShardedCluster {
             .collect();
         Rc::new(ShardRouter {
             spec: self.spec,
+            map: ShardMap::base(self.spec),
             clients,
             client_id: id,
             routed: vec![Cell::new(0); self.spec.shards()],
@@ -203,6 +205,10 @@ impl ShardedCluster {
 /// multi-op per shard) and reassembled in input order.
 pub struct ShardRouter {
     spec: ShardSpec,
+    /// The generation-stamped routing table (see `crate::reshard`). A
+    /// static sharded cluster holds the epoch-0 base map, whose ownership
+    /// is bit-for-bit [`ShardSpec::shard_of`]; elastic handoffs refine it.
+    map: ShardMap,
     /// One client per shard, all sharing this router's CPU core.
     clients: Vec<Rc<StoreClient>>,
     client_id: usize,
@@ -215,6 +221,12 @@ impl ShardRouter {
     /// The keyspace partitioning this router routes by.
     pub fn spec(&self) -> ShardSpec {
         self.spec
+    }
+
+    /// The routing table this router resolves owners against (epoch 0 for
+    /// a static cluster).
+    pub fn map(&self) -> &ShardMap {
+        &self.map
     }
 
     /// The per-shard client for shard `s` (escape hatch).
@@ -237,7 +249,7 @@ impl ShardRouter {
     }
 
     fn route(&self, key: u64) -> &Rc<StoreClient> {
-        let s = self.spec.shard_of(key);
+        let s = self.map.owner_of(key);
         self.routed[s].set(self.routed[s].get() + 1);
         &self.clients[s]
     }
@@ -320,7 +332,7 @@ impl ShardRouter {
     fn group(&self, keys: impl Iterator<Item = u64>) -> Vec<(usize, Vec<usize>, Vec<u64>)> {
         let mut per: Vec<(Vec<usize>, Vec<u64>)> = vec![Default::default(); self.spec.shards()];
         for (pos, key) in keys.enumerate() {
-            let s = self.spec.shard_of(key);
+            let s = self.map.owner_of(key);
             self.routed[s].set(self.routed[s].get() + 1);
             per[s].0.push(pos);
             per[s].1.push(key);
@@ -429,6 +441,21 @@ mod tests {
         );
         assert_eq!(spec4.shard_of(u64::MAX), 2);
         assert_eq!(spec16.shard_of(1 << 20), 11);
+        // The epoch-0 routing table must reproduce the stateless mapping
+        // bit for bit — upgrading routers from raw `shard_of` lookups to
+        // `ShardMap::owner_of` reshuffles nothing on a static cluster.
+        let map4 = ShardMap::base(spec4);
+        let map16 = ShardMap::base(spec16);
+        assert_eq!(map4.epoch(), 0);
+        assert_eq!(map16.epoch(), 0);
+        let map_golden4: Vec<usize> = (0..16).map(|k| map4.owner_of(k)).collect();
+        let map_golden16: Vec<usize> = (0..16).map(|k| map16.owner_of(k)).collect();
+        assert_eq!(map_golden4, golden4);
+        assert_eq!(map_golden16, golden16);
+        for key in (0..4096).chain([u64::MAX, 1 << 20, 0xDEAD_BEEF]) {
+            assert_eq!(map4.owner_of(key), spec4.shard_of(key), "key {key}");
+            assert_eq!(map16.owner_of(key), spec16.shard_of(key), "key {key}");
+        }
     }
 
     #[test]

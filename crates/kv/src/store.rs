@@ -30,18 +30,29 @@ pub enum KvError {
     /// `update` addressed a key that was never inserted: updates require an
     /// existing mapping (§5.3.3) — use `insert` for fresh keys.
     NotIndexed,
+    /// The addressed shard group no longer owns the key: an elastic
+    /// resharding handoff (see `crate::reshard`) moved its range to another
+    /// group and bumped the routing epoch. The carried epoch is the
+    /// authoritative [`crate::ShardMap`] epoch at bounce time; a router
+    /// refreshes its map and re-resolves.
+    WrongShard {
+        /// The authoritative routing-table epoch when the op was bounced.
+        epoch: u64,
+    },
 }
 
 impl std::fmt::Display for KvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let msg = match self {
-            KvError::NotFound => "key not found",
-            KvError::Deleted => "key is deleted (tombstone)",
-            KvError::IndexFull => "index at capacity",
-            KvError::Timeout => "memory node stopped answering",
-            KvError::NotIndexed => "key has no index mapping",
-        };
-        f.write_str(msg)
+        match self {
+            KvError::NotFound => f.write_str("key not found"),
+            KvError::Deleted => f.write_str("key is deleted (tombstone)"),
+            KvError::IndexFull => f.write_str("index at capacity"),
+            KvError::Timeout => f.write_str("memory node stopped answering"),
+            KvError::NotIndexed => f.write_str("key has no index mapping"),
+            KvError::WrongShard { epoch } => {
+                write!(f, "key re-owned by another shard group (map epoch {epoch})")
+            }
+        }
     }
 }
 

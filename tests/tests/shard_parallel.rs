@@ -51,6 +51,7 @@ fn run(seed: u64, mode: ShardMode, batch: usize, faults: Vec<(usize, FaultPlan)>
         record_history: true,
         collect_results: true,
         watch_until_ns: Some(5 * NANOS_PER_MILLI),
+        ..Default::default()
     };
     run_sharded_plan(&b, seed, &plan, &wl, &opts, mode)
 }
