@@ -86,6 +86,13 @@ stage chaos-release env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
 stage reshard-chaos env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
     cargo test --release -q -p swarm-tests --test reshard_chaos
 
+# Anti-entropy chaos: repair armed under drop windows, every digest
+# strategy, repair composed with an online split — bit-identical across
+# all three ShardModes, plus the divergence-persists-without /
+# heals-with ground truth. Same SWARM_CHAOS_SEEDS knob.
+stage repair-chaos env SWARM_CHAOS_SEEDS="${SWARM_CHAOS_SEEDS:-8}" \
+    cargo test --release -q -p swarm-tests --test repair_chaos
+
 # Perf smoke: quick fig5 single-threaded, a 2-thread fig8 sweep, and the
 # sharded scale bench, all volume-scaled, under generous budgets. Guards
 # the event loop (fig5 runs full quick volume), the threaded sweep driver,
@@ -105,6 +112,12 @@ perf_stage bench_shards-mt 120 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREAD
 # preloaded keyspace; the split still has to seal or the bench fails.
 perf_stage bench_reshard 60 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 \
     "$BIN_DIR/bench_reshard"
+# Anti-entropy convergence: three digest-strategy cells over the quick
+# 2^14 keyspace (unscaled — the bloom-vs-full byte assertion needs a
+# keyspace big enough for digests to pay off). Asserts every cell
+# converges to zero residual divergence and BloomBuckets moves fewer
+# bytes than the full exchange.
+perf_stage bench_repair 60 env SWARM_BENCH_THREADS=3 "$BIN_DIR/bench_repair"
 
 echo
 echo "CI OK"

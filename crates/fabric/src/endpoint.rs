@@ -104,7 +104,7 @@ impl Endpoint {
         let header = cfg.header_bytes;
         let req_bytes = header + ops.iter().map(Op::request_payload).sum::<usize>();
         let resp_bytes = header + ops.iter().map(Op::response_payload).sum::<usize>();
-        let has_read = ops.iter().any(|o| matches!(o, Op::Read { .. }));
+        let has_read = ops.iter().any(Op::is_read_like);
 
         // Reserve the submission slot *now*: concurrent submitters on the
         // same core serialize in call order, deterministically.
@@ -187,6 +187,14 @@ impl Endpoint {
                     } => {
                         results.push(OpResult::Cas(node_rc.mem().cas_u64(*addr, *expected, *new)));
                     }
+                    repair => {
+                        // Anti-entropy summaries scan the registered table
+                        // at a single instant, like a (large) read.
+                        let r = repair
+                            .apply_repair(node_rc.mem())
+                            .expect("non-repair ops are handled above");
+                        results.push(r);
+                    }
                 }
             }
 
@@ -214,10 +222,13 @@ impl Endpoint {
         rx
     }
 
-    /// Convenience: single READ.
+    /// Convenience: single READ. `None` on a dropped reply — including a
+    /// reply batch that came back empty or with the wrong result kind,
+    /// which a faulted or misbehaving node could produce (treating it as
+    /// anything but a drop would panic the client).
     pub async fn read(&self, node: NodeId, addr: u64, len: usize) -> Option<Vec<u8>> {
         let r = self.submit(node, vec![Op::Read { addr, len }]).await?;
-        Some(r.into_iter().next().unwrap().into_read())
+        first_read(r)
     }
 
     /// Convenience: single WRITE. The payload is shared (`impl
@@ -234,7 +245,8 @@ impl Endpoint {
         Some(())
     }
 
-    /// Convenience: single CAS; returns the previous value.
+    /// Convenience: single CAS; returns the previous value, or `None` on a
+    /// dropped (or malformed — see [`Endpoint::read`]) reply.
     pub async fn cas(&self, node: NodeId, addr: u64, expected: u64, new: u64) -> Option<u64> {
         let r = self
             .submit(
@@ -246,8 +258,20 @@ impl Endpoint {
                 }],
             )
             .await?;
-        Some(r.into_iter().next().unwrap().into_cas())
+        first_cas(r)
     }
+}
+
+/// Extracts the first result of a reply batch as read bytes; `None` for an
+/// empty batch or a kind mismatch (the caller treats it as a dropped reply).
+fn first_read(r: Vec<OpResult>) -> Option<Vec<u8>> {
+    r.into_iter().next()?.read()
+}
+
+/// Extracts the first result of a reply batch as a CAS previous value;
+/// `None` for an empty batch or a kind mismatch.
+fn first_cas(r: Vec<OpResult>) -> Option<u64> {
+    r.into_iter().next()?.cas()
 }
 
 struct QpClockRef {
@@ -261,5 +285,86 @@ impl QpClockRef {
     }
     fn set(&self, v: Nanos) {
         self.clock.borrow_mut()[self.node] = v;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FabricConfig;
+    use crate::op::{RepairEntry, RepairSel, RepairTable};
+    use swarm_sim::Sim;
+
+    /// Regression (anti-entropy PR): a reply batch that comes back empty or
+    /// with a mismatched result kind must read as a dropped reply, not a
+    /// panic — a faulted node's garbage answer must never kill the client.
+    #[test]
+    fn malformed_reply_batches_are_dropped_not_panics() {
+        assert_eq!(first_read(Vec::new()), None);
+        assert_eq!(first_cas(Vec::new()), None);
+        assert_eq!(first_read(vec![OpResult::Write]), None);
+        assert_eq!(first_read(vec![OpResult::Cas(3)]), None);
+        assert_eq!(first_cas(vec![OpResult::Write]), None);
+        assert_eq!(first_cas(vec![OpResult::Read(vec![1, 2])]), None);
+        // Well-formed batches still extract.
+        assert_eq!(first_read(vec![OpResult::Read(vec![7])]), Some(vec![7]));
+        assert_eq!(first_cas(vec![OpResult::Cas(9)]), Some(9));
+    }
+
+    #[test]
+    fn read_write_cas_roundtrip() {
+        let sim = Sim::new(1);
+        let fabric = Fabric::new(&sim, FabricConfig::default(), 1);
+        let addr = fabric.node(NodeId(0)).alloc(64, 8);
+        let ep = fabric.endpoint();
+        sim.block_on(async move {
+            ep.write(NodeId(0), addr, vec![5u8; 16]).await.unwrap();
+            assert_eq!(ep.read(NodeId(0), addr, 16).await.unwrap(), vec![5u8; 16]);
+            let prev = ep.cas(NodeId(0), addr, u64::from_le_bytes([5; 8]), 0).await;
+            assert_eq!(prev, Some(u64::from_le_bytes([5; 8])));
+        });
+    }
+
+    /// Repair summaries travel the normal submission pipeline: FIFO with
+    /// other ops, read-penalty latency, and response bytes proportional to
+    /// the summary size.
+    #[test]
+    fn repair_ops_flow_through_the_pipeline() {
+        let sim = Sim::new(2);
+        let fabric = Fabric::new(&sim, FabricConfig::deterministic(), 1);
+        let node = fabric.node(NodeId(0));
+        let base = node.alloc(16, 8);
+        node.mem().write_u64(base, 44 << 16);
+        node.mem().write_u64(base + 8, 45 << 16);
+        let table: RepairTable = Rc::new(vec![
+            RepairEntry {
+                id: 1,
+                addr: base,
+                words: 1,
+            },
+            RepairEntry {
+                id: 2,
+                addr: base + 8,
+                words: 1,
+            },
+        ]);
+        let ep = fabric.endpoint();
+        let before = ep.stats();
+        let stamps = sim.block_on(async move {
+            ep.submit(
+                NodeId(0),
+                vec![Op::RepairStamps {
+                    table,
+                    sel: RepairSel::All,
+                }],
+            )
+            .await
+            .unwrap()
+            .remove(0)
+            .stamps()
+            .unwrap()
+        });
+        assert_eq!(stamps, vec![44, 45]);
+        let _ = before;
     }
 }

@@ -50,9 +50,12 @@ mod node;
 mod op;
 
 pub use config::FabricConfig;
-pub use endpoint::Endpoint;
+pub use endpoint::{Endpoint, EndpointStats};
 pub use fabric::{Fabric, TrafficStats};
 pub use fault::{FaultAction, FaultPlan};
 pub use mem::NodeMemory;
 pub use node::{Node, NodeId};
-pub use op::{Op, OpResult, Payload};
+pub use op::{
+    bloom_has, bloom_set, repair_bucket, repair_entry_stamp, repair_mix, Op, OpResult, Payload,
+    RepairEntry, RepairSel, RepairTable,
+};

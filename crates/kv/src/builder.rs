@@ -17,6 +17,7 @@ use crate::client::{KvClient, KvClientConfig, Proto};
 use crate::cluster::{Cluster, ClusterConfig};
 use crate::fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 use crate::membership::Membership;
+use crate::repair::{RepairConfig, RepairHandle};
 use crate::shard::{ShardSpec, ShardedCluster};
 use crate::store::{KvResult, KvStore};
 use crate::CacheCapacity;
@@ -97,6 +98,7 @@ pub struct StoreBuilder {
     fusee: FuseeConfig,
     client: KvClientConfig,
     shards: usize,
+    repair: Option<RepairConfig>,
 }
 
 impl StoreBuilder {
@@ -109,6 +111,7 @@ impl StoreBuilder {
             fusee: FuseeConfig::default(),
             client: KvClientConfig::default(),
             shards: 1,
+            repair: None,
         }
     }
 
@@ -187,6 +190,18 @@ impl StoreBuilder {
         self
     }
 
+    /// Equips every built [`Cluster`]-based shard with a background
+    /// anti-entropy agent (see [`crate::RepairHandle`]). Off by default —
+    /// with no repair config nothing is minted, nothing draws RNG, and all
+    /// existing executions replay bit-identically. The agent is created
+    /// un-armed; arm it per run with [`crate::RepairHandle::arm_until`] or
+    /// `ShardRunOptions::repair_until_ns`. FUSEE brings its own recovery
+    /// and ignores this.
+    pub fn repair(mut self, cfg: RepairConfig) -> Self {
+        self.repair = Some(cfg);
+        self
+    }
+
     /// Replaces the whole cluster configuration (the escape hatch for knobs
     /// without a fluent setter, e.g. fabric latency or clock skew).
     pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {
@@ -240,10 +255,15 @@ impl StoreBuilder {
             Protocol::Fusee => ClusterKind::Fusee(FuseeCluster::new(sim, self.fusee.clone())),
             _ => ClusterKind::Swarm(Cluster::new(sim, self.effective_cluster_config())),
         };
+        let repair = match (&kind, &self.repair) {
+            (ClusterKind::Swarm(c), Some(cfg)) => Some(RepairHandle::new(c, cfg.clone())),
+            _ => None,
+        };
         StoreCluster {
             kind,
             protocol: self.protocol,
             client_cfg: self.client.clone(),
+            repair,
         }
     }
 
@@ -354,6 +374,7 @@ pub struct StoreCluster {
     kind: ClusterKind,
     protocol: Protocol,
     client_cfg: KvClientConfig,
+    repair: Option<RepairHandle>,
 }
 
 impl StoreCluster {
@@ -475,6 +496,13 @@ impl StoreCluster {
             ClusterKind::Swarm(c) => Some(c),
             ClusterKind::Fusee(_) => None,
         }
+    }
+
+    /// The cluster's anti-entropy agent, if the builder configured one
+    /// ([`StoreBuilder::repair`]); `None` for FUSEE and unconfigured
+    /// clusters.
+    pub fn repair(&self) -> Option<&RepairHandle> {
+        self.repair.as_ref()
     }
 
     /// The underlying [`FuseeCluster`] (escape hatch).

@@ -105,6 +105,11 @@ pub struct KeyHandle {
     /// cleanups are conditioned on it so a stale handle can never unmap a
     /// re-inserted key's fresh mapping.
     generation: u64,
+    /// Cluster repair mark at build time. A handle built before an
+    /// anti-entropy pass rewrote this key's replicas may cache metadata
+    /// (e.g. In-n-Out's cached word) older than the repaired state; the
+    /// cache hit path drops such handles instead of serving them.
+    repair_mark: u64,
 }
 
 /// One client thread of a key-value store.
@@ -279,6 +284,7 @@ impl KvClient {
         Rc::new(KeyHandle {
             kind,
             generation: info.generation,
+            repair_mark: self.cluster.repair_mark(info.key),
         })
     }
 
@@ -288,8 +294,16 @@ impl KvClient {
     /// §5.3.3).
     async fn handle_for(&self, key: u64, force_index: bool) -> Option<Rc<KeyHandle>> {
         if !force_index {
-            if let Some(h) = self.cache.borrow_mut().get(key) {
-                return Some(Rc::clone(h));
+            let mark = self.cluster.repair_mark(key);
+            let mut cache = self.cache.borrow_mut();
+            if let Some(h) = cache.get(key) {
+                if h.repair_mark == mark {
+                    return Some(Rc::clone(h));
+                }
+                // Repair rewrote this key's replicas after the handle was
+                // built: its cached metadata may predate the repaired
+                // state, so drop it and re-resolve through the index.
+                cache.remove(key);
             }
         }
         self.rounds.bump();
@@ -564,5 +578,50 @@ impl KvStore for KvClient {
 
     fn client_id(&self) -> usize {
         self.client_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use swarm_sim::Sim;
+
+    /// Satellite bugfix pin: a cached [`KeyHandle`] built before a repair
+    /// pass must not be served after one — its cached metadata could be
+    /// older than what repair replicated. The cache hit path version-checks
+    /// the cluster repair mark and rebuilds the handle on mismatch.
+    #[test]
+    fn repair_invalidates_cached_handles() {
+        let sim = Sim::new(11);
+        let cluster = Cluster::new(&sim, ClusterConfig::default());
+        cluster.load_keys(4, |k| vec![k as u8; 64]);
+        let client = KvClient::new(&cluster, Proto::SafeGuess, 0, KvClientConfig::default());
+        sim.block_on(async move {
+            let h1 = client.handle_for(3, false).await.expect("key 3 loaded");
+            let h2 = client.handle_for(3, false).await.expect("key 3 cached");
+            assert!(Rc::ptr_eq(&h1, &h2), "cache hit returns the same handle");
+
+            // Anti-entropy rewrites key 3's replicas: the next resolve must
+            // rebuild the handle instead of serving the stale one.
+            client.cluster.note_repaired(3);
+            let h3 = client.handle_for(3, false).await.expect("key 3 indexed");
+            assert!(
+                !Rc::ptr_eq(&h2, &h3),
+                "a handle built before repair must not survive one"
+            );
+
+            // The rebuilt handle carries the new mark and is cached again.
+            let h4 = client.handle_for(3, false).await.expect("key 3 cached");
+            assert!(Rc::ptr_eq(&h3, &h4), "post-repair handle caches normally");
+
+            // Other keys' handles are untouched by key 3's repair.
+            let o1 = client.handle_for(1, false).await.expect("key 1 loaded");
+            client.cluster.note_repaired(3);
+            let h5 = client.handle_for(3, false).await.expect("key 3 indexed");
+            assert!(!Rc::ptr_eq(&h4, &h5), "every repair bumps the mark");
+            let o2 = client.handle_for(1, false).await.expect("key 1 cached");
+            assert!(Rc::ptr_eq(&o1, &o2), "unrepaired keys keep their handle");
+        });
     }
 }

@@ -101,6 +101,7 @@ pub(crate) const ROLE_INDEX: u64 = 2;
 pub(crate) const ROLE_CLOCK: u64 = 3;
 pub(crate) const ROLE_CACHE: u64 = 4;
 pub(crate) const ROLE_RESHARD: u64 = 5;
+pub(crate) const ROLE_REPAIR: u64 = 6;
 
 /// Control-plane record of one key's replica allocation.
 #[derive(Debug, Clone)]
@@ -127,6 +128,11 @@ struct Inner {
     membership: Membership,
     keys: RefCell<HashMap<u64, Rc<KeyInfo>>>,
     generation: std::cell::Cell<u64>,
+    /// Per-key repair marks: bumped every time anti-entropy overwrites a
+    /// replica of the key, so cached client handles can detect that their
+    /// view predates a repair (see `KvClient::handle_for`).
+    repair_marks: RefCell<HashMap<u64, u64>>,
+    repair_counter: std::cell::Cell<u64>,
 }
 
 /// Handle to a cluster (cheaply cloneable).
@@ -160,6 +166,8 @@ impl Cluster {
                 membership,
                 keys: RefCell::new(HashMap::new()),
                 generation: std::cell::Cell::new(0),
+                repair_marks: RefCell::new(HashMap::new()),
+                repair_counter: std::cell::Cell::new(0),
             }),
         }
     }
@@ -281,6 +289,26 @@ impl Cluster {
     /// Control-plane lookup of a key's allocation.
     pub fn key_info(&self, key: u64) -> Option<Rc<KeyInfo>> {
         self.inner.keys.borrow().get(&key).cloned()
+    }
+
+    /// Records that anti-entropy overwrote a replica of `key`. Each call
+    /// bumps a cluster-wide counter so two repairs of the same key yield
+    /// distinct marks.
+    pub fn note_repaired(&self, key: u64) {
+        let n = self.inner.repair_counter.get() + 1;
+        self.inner.repair_counter.set(n);
+        self.inner.repair_marks.borrow_mut().insert(key, n);
+    }
+
+    /// The latest repair mark for `key` (0 = never repaired). Cached client
+    /// handles compare this against the mark they were built under.
+    pub fn repair_mark(&self, key: u64) -> u64 {
+        self.inner
+            .repair_marks
+            .borrow()
+            .get(&key)
+            .copied()
+            .unwrap_or(0)
     }
 
     /// Crashes a memory node (Figure 11).

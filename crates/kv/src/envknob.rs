@@ -93,6 +93,49 @@ pub(crate) fn reshard_pace_ns() -> u64 {
     pace_ns_for_rate(reshard_rate())
 }
 
+/// Default anti-entropy round period when `SWARM_REPAIR_PERIOD_US` is
+/// unset: one reconciliation round every 50 µs of virtual time — frequent
+/// enough to converge inside a bench window, rare enough that repair
+/// traffic stays a background hum.
+pub(crate) const DEFAULT_REPAIR_PERIOD_NS: u64 = 50_000;
+
+/// Default digest bucket count when `SWARM_REPAIR_BUCKETS` is unset.
+pub(crate) const DEFAULT_REPAIR_BUCKETS: u32 = 64;
+
+/// The anti-entropy period knob: `SWARM_REPAIR_PERIOD_US` sets the virtual
+/// microseconds between repair rounds. Warn-once convention: unset means
+/// the default period, garbage is ignored with a one-time stderr warning.
+pub fn repair_period_ns() -> u64 {
+    parse_repair_period_us(std::env::var("SWARM_REPAIR_PERIOD_US").ok().as_deref())
+        .map_or(DEFAULT_REPAIR_PERIOD_NS, |us| us.saturating_mul(1_000))
+}
+
+fn parse_repair_period_us(raw: Option<&str>) -> Option<u64> {
+    parse_knob(
+        "SWARM_REPAIR_PERIOD_US",
+        raw,
+        "a positive microsecond period like 50",
+        |v: &u64| *v > 0,
+    )
+}
+
+/// The anti-entropy digest granularity knob: `SWARM_REPAIR_BUCKETS` sets
+/// how many hash buckets the `Buckets`/`BloomBuckets` strategies split the
+/// keyspace into. Warn-once convention, same as its siblings.
+pub fn repair_buckets() -> u32 {
+    parse_repair_buckets(std::env::var("SWARM_REPAIR_BUCKETS").ok().as_deref())
+        .unwrap_or(DEFAULT_REPAIR_BUCKETS)
+}
+
+fn parse_repair_buckets(raw: Option<&str>) -> Option<u32> {
+    parse_knob(
+        "SWARM_REPAIR_BUCKETS",
+        raw,
+        "a positive bucket count like 64",
+        |v: &u32| *v >= 1,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,6 +202,25 @@ mod tests {
             assert_eq!(parse_reshard_rate(Some(bad)), None, "{bad:?}");
         }
         assert!(WARNED.lock().unwrap().contains("SWARM_RESHARD_RATE"));
+    }
+
+    #[test]
+    fn repair_knobs_parse_and_reject_like_their_siblings() {
+        // Unset: defaults apply, no warning.
+        assert_eq!(parse_repair_period_us(None), None);
+        assert_eq!(parse_repair_buckets(None), None);
+        assert!(!WARNED.lock().unwrap().contains("SWARM_REPAIR_PERIOD_US"));
+        assert!(!WARNED.lock().unwrap().contains("SWARM_REPAIR_BUCKETS"));
+        // Valid values parse (the period knob is in µs; callers scale to ns).
+        assert_eq!(parse_repair_period_us(Some("50")), Some(50));
+        assert_eq!(parse_repair_buckets(Some("128")), Some(128));
+        // Garbage and out-of-domain values are rejected, warn-once.
+        for bad in ["banana", "", "0", "-5", "1.5"] {
+            assert_eq!(parse_repair_period_us(Some(bad)), None, "{bad:?}");
+            assert_eq!(parse_repair_buckets(Some(bad)), None, "{bad:?}");
+        }
+        assert!(WARNED.lock().unwrap().contains("SWARM_REPAIR_PERIOD_US"));
+        assert!(WARNED.lock().unwrap().contains("SWARM_REPAIR_BUCKETS"));
     }
 
     #[test]

@@ -103,6 +103,7 @@ mod index;
 mod membership;
 mod parallel;
 mod recorder;
+mod repair;
 mod reshard;
 mod runner;
 mod shard;
@@ -112,7 +113,7 @@ pub use builder::{Protocol, StoreBuilder, StoreClient, StoreCluster};
 pub use cache::LfuCache;
 pub use client::{CacheCapacity, KvClient, KvClientConfig, Proto};
 pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
-pub use envknob::{env_knob, parse_knob};
+pub use envknob::{env_knob, parse_knob, repair_buckets, repair_period_ns};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
@@ -121,6 +122,9 @@ pub use parallel::{
     ShardMode, ShardOutcome, ShardRunOptions, ShardedRun, WorkloadPlan,
 };
 pub use recorder::{value_tag, HistoryRecorder, RecordingStore};
+pub use repair::{
+    divergent_stamp_pairs, DeferFn, RepairConfig, RepairHandle, RepairStats, RepairStrategy,
+};
 pub use reshard::{
     split_point, ElasticClient, ElasticShard, ReshardAction, ReshardEvent, ReshardStats, Segment,
     ShardMap,

@@ -61,6 +61,7 @@ use crate::envknob::env_knob;
 #[cfg(test)]
 use crate::envknob::parse_knob;
 use crate::recorder::HistoryRecorder;
+use crate::repair::RepairStats;
 use crate::reshard::{ElasticShard, ReshardEvent, ReshardStats};
 use crate::runner::{RunConfig, RunStats};
 use crate::shard::ShardSpec;
@@ -323,6 +324,15 @@ pub struct ShardRunOptions {
     /// [`ShardRunOptions::watch_until_ns`] armed past the crash, or the
     /// membership verdict it waits for never arrives.
     pub reshards: Vec<ReshardEvent>,
+    /// Arm each shard's background anti-entropy repair agent until this
+    /// virtual time (requires [`StoreBuilder::repair`] on the builder;
+    /// silently a no-op otherwise). On an elastic shard the whole family
+    /// arms — every replica group, including destinations built mid-run —
+    /// and repair of keys inside an active migration window defers to the
+    /// double-write machinery. Like reshard events, armed repair runs as
+    /// shard-private simulation tasks, so runs stay bit-identical across
+    /// every [`ShardMode`].
+    pub repair_until_ns: Option<Nanos>,
 }
 
 /// The `Send` result of one operation, reassembled across shards
@@ -359,6 +369,10 @@ pub struct ShardOutcome {
     /// [`ShardRunOptions::reshards`] events (another bit-parity witness:
     /// epochs, seals, bounces, and copied keys must agree across modes).
     pub reshard: Option<ReshardStats>,
+    /// The shard's anti-entropy counters, when the shard ran with
+    /// [`ShardRunOptions::repair_until_ns`] and a repair-configured
+    /// builder (rounds, deltas, and bytes are bit-parity witnesses too).
+    pub repair: Option<RepairStats>,
 }
 
 /// A completed planned run: per-shard outcomes in shard order, plus the
@@ -630,6 +644,16 @@ fn setup_shard(
             cluster.fabric().apply_fault_plan(fault_plan);
         }
     }
+    if let Some(deadline) = opts.repair_until_ns {
+        match &family {
+            Some(f) => f.arm_repair(deadline),
+            None => {
+                if let Some(agent) = cluster.repair() {
+                    agent.arm_until(deadline);
+                }
+            }
+        }
+    }
 
     let stats = Rc::new(RefCell::new(RunStats::default()));
     let results = Rc::new(RefCell::new(Vec::new()));
@@ -711,9 +735,13 @@ fn finish_shard(s: usize, cluster: &StoreCluster, tasks: ShardTasks) -> ShardOut
     );
     // An elastic shard's traffic spans every replica group it built, in
     // group order; a static shard's is its one fabric.
-    let (traffic, reshard) = match &tasks.family {
-        Some(f) => (f.traffic(), Some(f.stats())),
-        None => (cluster.fabric().stats(), None),
+    let (traffic, reshard, repair) = match &tasks.family {
+        Some(f) => (f.traffic(), Some(f.stats()), f.repair_stats()),
+        None => (
+            cluster.fabric().stats(),
+            None,
+            cluster.repair().map(|agent| agent.stats()),
+        ),
     };
     ShardOutcome {
         shard: s,
@@ -726,6 +754,7 @@ fn finish_shard(s: usize, cluster: &StoreCluster, tasks: ShardTasks) -> ShardOut
             .map(RefCell::into_inner)
             .unwrap_or_else(|_| panic!("shard {s}: results still shared after drain")),
         reshard,
+        repair,
     }
 }
 

@@ -31,7 +31,7 @@
 //! pipelined multi-op per shard out through `join_boxed`, and reassemble
 //! results into input order deterministically.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::rc::Rc;
 
@@ -41,7 +41,7 @@ use swarm_sim::{join_boxed, BoxFuture, FifoResource, Sim};
 use crate::builder::{Protocol, StoreClient, StoreCluster};
 use crate::cluster::derive_label;
 use crate::reshard::ShardMap;
-use crate::store::{KvResult, KvStore, KvStoreExt};
+use crate::store::{KvError, KvResult, KvStore, KvStoreExt};
 
 /// Base label the per-shard RNG streams are derived from (see
 /// `ClusterConfig::rng_label`).
@@ -50,6 +50,13 @@ const SHARD_RNG_BASE: u64 = 0x5A4D_5348_4152_4421;
 /// Seed of the key→shard routing hash. Changing it reshuffles every
 /// sharded keyspace; tests pin the resulting mapping.
 const SHARD_HASH_SEED: u64 = 0x0053_4841_5244;
+
+/// [`KvError::WrongShard`] bounces a router absorbs per operation before
+/// giving up. Each bounce refreshes the cached routing table from the
+/// router's map source, so exhausting the cap means the authority kept
+/// moving ownership between every refresh and retry — at that point the op
+/// surfaces [`KvError::Timeout`] instead of spinning forever.
+const MAX_WRONG_SHARD_RETRIES: usize = 8;
 
 /// The keyspace partitioning: shard count plus the stateless hash-based
 /// key→shard mapping.
@@ -172,7 +179,9 @@ impl ShardedCluster {
             .collect();
         Rc::new(ShardRouter {
             spec: self.spec,
-            map: ShardMap::base(self.spec),
+            map: RefCell::new(ShardMap::base(self.spec)),
+            map_source: RefCell::new(None),
+            wrong_shard_bounces: Cell::new(0),
             clients,
             client_id: id,
             routed: vec![Cell::new(0); self.spec.shards()],
@@ -208,7 +217,14 @@ pub struct ShardRouter {
     /// The generation-stamped routing table (see `crate::reshard`). A
     /// static sharded cluster holds the epoch-0 base map, whose ownership
     /// is bit-for-bit [`ShardSpec::shard_of`]; elastic handoffs refine it.
-    map: ShardMap,
+    map: RefCell<ShardMap>,
+    /// Where a [`KvError::WrongShard`] bounce refreshes the cached map
+    /// from (`None` on a static cluster: nothing ever moves, so the map
+    /// can only be refreshed to itself).
+    map_source: RefCell<Option<Rc<dyn Fn() -> ShardMap>>>,
+    /// [`KvError::WrongShard`] bounces absorbed (each one refreshed the
+    /// map and retried).
+    wrong_shard_bounces: Cell<u64>,
     /// One client per shard, all sharing this router's CPU core.
     clients: Vec<Rc<StoreClient>>,
     client_id: usize,
@@ -225,8 +241,20 @@ impl ShardRouter {
 
     /// The routing table this router resolves owners against (epoch 0 for
     /// a static cluster).
-    pub fn map(&self) -> &ShardMap {
-        &self.map
+    pub fn map(&self) -> ShardMap {
+        self.map.borrow().clone()
+    }
+
+    /// Installs the authority a [`KvError::WrongShard`] bounce refreshes
+    /// the cached routing table from (e.g. a control-plane lookup). Without
+    /// one, bounces still count and retry, but against the same stale map.
+    pub fn set_map_source(&self, source: Option<Rc<dyn Fn() -> ShardMap>>) {
+        *self.map_source.borrow_mut() = source;
+    }
+
+    /// [`KvError::WrongShard`] bounces this router has absorbed.
+    pub fn wrong_shard_bounces(&self) -> u64 {
+        self.wrong_shard_bounces.get()
     }
 
     /// The per-shard client for shard `s` (escape hatch).
@@ -248,10 +276,39 @@ impl ShardRouter {
         })
     }
 
-    fn route(&self, key: u64) -> &Rc<StoreClient> {
-        let s = self.map.owner_of(key);
+    fn route(&self, key: u64) -> Rc<StoreClient> {
+        let s = self.map.borrow().owner_of(key);
         self.routed[s].set(self.routed[s].get() + 1);
-        &self.clients[s]
+        Rc::clone(&self.clients[s])
+    }
+
+    /// One absorbed bounce: count it and refresh the cached map from the
+    /// authority (when one is installed).
+    fn bounce(&self) {
+        self.wrong_shard_bounces
+            .set(self.wrong_shard_bounces.get() + 1);
+        if let Some(source) = self.map_source.borrow().clone() {
+            *self.map.borrow_mut() = source();
+        }
+    }
+
+    /// Runs `attempt` against `key`'s current owner, absorbing
+    /// [`KvError::WrongShard`] bounces: each one refreshes the routing
+    /// table and re-resolves, at most [`MAX_WRONG_SHARD_RETRIES`] times.
+    /// Past the cap the op surfaces [`KvError::Timeout`] — a router must
+    /// never spin unboundedly against an authority that keeps resealing.
+    async fn bounded_wrong_shard<T, F, Fut>(&self, key: u64, mut attempt: F) -> KvResult<T>
+    where
+        F: FnMut(Rc<StoreClient>) -> Fut,
+        Fut: Future<Output = KvResult<T>>,
+    {
+        for _ in 0..MAX_WRONG_SHARD_RETRIES {
+            match attempt(self.route(key)).await {
+                Err(KvError::WrongShard { .. }) => self.bounce(),
+                r => return r,
+            }
+        }
+        Err(KvError::Timeout)
     }
 
     /// Reads many keys in one batch: keys group by owning shard, one
@@ -331,8 +388,9 @@ impl ShardRouter {
     /// non-empty shard, in shard order (deterministic).
     fn group(&self, keys: impl Iterator<Item = u64>) -> Vec<(usize, Vec<usize>, Vec<u64>)> {
         let mut per: Vec<(Vec<usize>, Vec<u64>)> = vec![Default::default(); self.spec.shards()];
+        let map = self.map.borrow();
         for (pos, key) in keys.enumerate() {
-            let s = self.map.owner_of(key);
+            let s = map.owner_of(key);
             self.routed[s].set(self.routed[s].get() + 1);
             per[s].0.push(pos);
             per[s].1.push(key);
@@ -367,19 +425,29 @@ fn reassemble<T>(total: usize, groups: Vec<(Vec<usize>, Vec<T>)>) -> Vec<T> {
 
 impl KvStore for ShardRouter {
     async fn get(&self, key: u64) -> KvResult<Option<Rc<Vec<u8>>>> {
-        self.route(key).get(key).await
+        self.bounded_wrong_shard(key, |c| async move { c.get(key).await })
+            .await
     }
 
     async fn update(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
-        self.route(key).update(key, value).await
+        self.bounded_wrong_shard(key, |c| {
+            let value = value.clone();
+            async move { c.update(key, value).await }
+        })
+        .await
     }
 
     async fn insert(&self, key: u64, value: Vec<u8>) -> KvResult<()> {
-        self.route(key).insert(key, value).await
+        self.bounded_wrong_shard(key, |c| {
+            let value = value.clone();
+            async move { c.insert(key, value).await }
+        })
+        .await
     }
 
     async fn delete(&self, key: u64) -> KvResult<()> {
-        self.route(key).delete(key).await
+        self.bounded_wrong_shard(key, |c| async move { c.delete(key).await })
+            .await
     }
 
     fn rounds(&self) -> u64 {
@@ -476,5 +544,94 @@ mod tests {
     fn reassemble_restores_input_order() {
         let groups = vec![(vec![1, 3], vec!["b", "d"]), (vec![0, 2], vec!["a", "c"])];
         assert_eq!(reassemble(4, groups), vec!["a", "b", "c", "d"]);
+    }
+
+    fn test_router(sim: &Sim) -> Rc<ShardRouter> {
+        crate::StoreBuilder::new(Protocol::SafeGuess)
+            .value_size(64)
+            .max_clients(1)
+            .shards(2)
+            .build_sharded(sim)
+            .router(0)
+    }
+
+    #[test]
+    fn wrong_shard_bounces_refresh_the_map_then_succeed() {
+        let sim = Sim::new(31);
+        let router = test_router(&sim);
+        // An authority whose map moves once: after a refresh, attempts
+        // against the "new" epoch succeed.
+        let refreshed = Rc::new(Cell::new(0u64));
+        let src = Rc::clone(&refreshed);
+        router.set_map_source(Some(Rc::new(move || {
+            src.set(src.get() + 1);
+            let mut m = ShardMap::base(ShardSpec::new(2));
+            m.assign(0, 0x8000, 0xFFFF, 1);
+            m
+        })));
+        let r2 = Rc::clone(&router);
+        let got = sim.block_on(async move {
+            let mut failures = 3;
+            r2.bounded_wrong_shard(7, |_| {
+                let attempt_fails = failures > 0;
+                failures -= 1;
+                async move {
+                    if attempt_fails {
+                        Err(KvError::WrongShard { epoch: 1 })
+                    } else {
+                        Ok(42u64)
+                    }
+                }
+            })
+            .await
+        });
+        assert_eq!(got, Ok(42));
+        assert_eq!(router.wrong_shard_bounces(), 3);
+        assert_eq!(refreshed.get(), 3, "every bounce refreshes from the source");
+        assert_eq!(
+            router.map().epoch(),
+            1,
+            "the refreshed map is the cached one"
+        );
+    }
+
+    #[test]
+    fn wrong_shard_retries_are_bounded_and_surface_timeout() {
+        let sim = Sim::new(32);
+        let router = test_router(&sim);
+        let attempts = Rc::new(Cell::new(0u64));
+        let a2 = Rc::clone(&attempts);
+        let r2 = Rc::clone(&router);
+        // An authority that keeps moving ownership: every attempt bounces.
+        // The router must give up instead of spinning forever.
+        let got: KvResult<()> = sim.block_on(async move {
+            r2.bounded_wrong_shard(7, |_| {
+                a2.set(a2.get() + 1);
+                async { Err(KvError::WrongShard { epoch: 9 }) }
+            })
+            .await
+        });
+        assert_eq!(got, Err(KvError::Timeout));
+        assert_eq!(attempts.get(), MAX_WRONG_SHARD_RETRIES as u64);
+        assert_eq!(router.wrong_shard_bounces(), MAX_WRONG_SHARD_RETRIES as u64);
+    }
+
+    #[test]
+    fn non_bounce_errors_pass_through_without_retry() {
+        let sim = Sim::new(33);
+        let router = test_router(&sim);
+        let attempts = Rc::new(Cell::new(0u64));
+        let a2 = Rc::clone(&attempts);
+        let r2 = Rc::clone(&router);
+        let got: KvResult<()> = sim.block_on(async move {
+            r2.bounded_wrong_shard(7, |_| {
+                a2.set(a2.get() + 1);
+                async { Err(KvError::NotFound) }
+            })
+            .await
+        });
+        assert_eq!(got, Err(KvError::NotFound));
+        assert_eq!(attempts.get(), 1, "only WrongShard retries");
+        assert_eq!(router.wrong_shard_bounces(), 0);
     }
 }

@@ -6,9 +6,12 @@ use proptest::prelude::*;
 use swarm_core::{
     innout_hash, xxh64, History, LockMode, NodeHealth, OpKind, QuorumConfig, Rounds, Stamp, TsLock,
 };
-use swarm_fabric::{Fabric, FabricConfig, NodeId};
-use swarm_kv::{KvStore, KvStoreExt, LfuCache, Protocol, StoreBuilder};
-use swarm_sim::{Histogram, Sim};
+use swarm_fabric::{Fabric, FabricConfig, FaultPlan, NodeId};
+use swarm_kv::{
+    divergent_stamp_pairs, HistoryRecorder, KvStore, KvStoreExt, LfuCache, Protocol, RepairConfig,
+    RepairStrategy, StoreBuilder,
+};
+use swarm_sim::{Histogram, Sim, NANOS_PER_MICRO, NANOS_PER_MILLI};
 use swarm_workload::Zipfian;
 
 proptest! {
@@ -210,5 +213,91 @@ proptest! {
         sim.run();
         let wins = results.borrow().iter().filter(|&&b| b).count();
         prop_assert!(wins <= 1, "both lock modes succeeded");
+    }
+}
+
+proptest! {
+    /// The repair delta stream is a CAS-MAX merge, so it *commutes* with
+    /// concurrent foreground writes (per-key linearizability holds with the
+    /// agent armed during a fault window, for any seed, drop rate, and
+    /// digest strategy) and is *idempotent* (replaying the whole protocol
+    /// over converged replicas applies zero further deltas).
+    #[test]
+    fn repair_deltas_commute_with_writes_and_are_idempotent(
+        seed in 0u64..500,
+        permille in 100u16..600,
+        strategy_idx in 0usize..3,
+    ) {
+        const KEYS: u64 = 32;
+        const VALUE_SIZE: usize = 64;
+        let tagged = |tag: u64| {
+            let mut v = vec![0u8; VALUE_SIZE];
+            v[..8].copy_from_slice(&tag.to_le_bytes());
+            v
+        };
+        let strategy = RepairStrategy::all()[strategy_idx];
+        let sim = Sim::new(30_000 + seed);
+        let cluster = StoreBuilder::new(Protocol::SafeGuess)
+            .value_size(VALUE_SIZE)
+            .max_clients(3)
+            .op_deadline_ns(2 * NANOS_PER_MILLI)
+            .repair(RepairConfig::with_strategy(strategy))
+            .build_cluster(&sim);
+        cluster.load_keys(KEYS, |k| tagged((1 << 32) + k));
+        let rec = HistoryRecorder::new(&sim);
+        for k in 0..KEYS {
+            rec.set_initial(k, &tagged((1 << 32) + k));
+        }
+        cluster.fabric().apply_fault_plan(&FaultPlan::new().drop_window(
+            10 * NANOS_PER_MICRO,
+            NodeId(0),
+            permille,
+            300 * NANOS_PER_MICRO,
+        ));
+
+        // The agent replays delta rounds *while* the writers run — the
+        // commutativity half of the property.
+        let agent = cluster.repair().expect("repair configured").clone();
+        agent.arm_until(NANOS_PER_MILLI);
+        let tag = std::rc::Rc::new(std::cell::Cell::new(0u64));
+        for cid in 0..2 {
+            let store = rec.wrap(cluster.client(cid));
+            let sim2 = sim.clone();
+            let tag = std::rc::Rc::clone(&tag);
+            sim.spawn(async move {
+                for _ in 0..20u32 {
+                    sim2.sleep_ns(sim2.rand_range(1, 30 * NANOS_PER_MICRO)).await;
+                    let key = sim2.rand_range(0, KEYS);
+                    if sim2.rand_range(0, 2) == 0 {
+                        let _ = store.get(key).await;
+                    } else {
+                        let t = tag.get() + 1;
+                        tag.set(t);
+                        let _ = store.update(key, tagged(t)).await;
+                    }
+                }
+            });
+        }
+        sim.run();
+        let checked = rec.take_history().check();
+        prop_assert!(
+            checked.is_ok(),
+            "history with interleaved repair does not linearize: {:?}",
+            checked.err()
+        );
+
+        let c = cluster.swarm().expect("SWARM-KV").clone();
+        let a2 = agent.clone();
+        let (_, converged) = sim.block_on(async move { a2.converge().await });
+        prop_assert!(converged, "repair must converge within its round budget");
+        prop_assert_eq!(divergent_stamp_pairs(&c), 0);
+
+        // Idempotence: a second full protocol replay moves nothing.
+        let deltas_before = agent.stats().deltas_applied;
+        let a3 = agent.clone();
+        let (_, converged2) = sim.block_on(async move { a3.converge().await });
+        prop_assert!(converged2);
+        prop_assert_eq!(agent.stats().deltas_applied, deltas_before);
+        prop_assert_eq!(divergent_stamp_pairs(&c), 0);
     }
 }

@@ -68,6 +68,7 @@ fn run(
         collect_results: true,
         watch_until_ns: Some(20 * NANOS_PER_MILLI),
         reshards,
+        repair_until_ns: None,
     };
     run_sharded_plan(&b, seed, &plan, &wl, &opts, mode)
 }
