@@ -118,6 +118,12 @@ perf_stage bench_reshard 60 env SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2
 # converges to zero residual divergence and BloomBuckets moves fewer
 # bytes than the full exchange.
 perf_stage bench_repair 60 env SWARM_BENCH_THREADS=3 "$BIN_DIR/bench_repair"
+# Tail smoke: the quick {no-hedge, hedge} x {static, adaptive} x
+# {calm, spike} sweep. The binary asserts in-process that hedged p99 is
+# >= 2x below unhedged under the canonical delay-spike plan with <= 5%
+# median regression, and that the hedge budget balances — so this stage
+# failing means the tail optimization regressed, not just a slow host.
+perf_stage tail-smoke 120 env SWARM_BENCH_THREADS=2 "$BIN_DIR/bench_tail"
 
 echo
 echo "CI OK"

@@ -42,6 +42,9 @@ struct CellResult {
     tput_kops: f64,
     measured_ops: u64,
     stats: swarm_kv::ReshardStats,
+    /// Pre-rendered latency summaries (deterministic, for the stderr JSON).
+    get_json: String,
+    update_json: String,
     wall_secs: f64,
 }
 
@@ -89,6 +92,8 @@ fn main() {
             tput_kops: stats.throughput_ops() / 1e3,
             measured_ops: stats.measured_ops,
             stats: family.stats(),
+            get_json: stats.lat(swarm_workload::OpType::Get).summary_json(),
+            update_json: stats.lat(swarm_workload::OpType::Update).summary_json(),
             wall_secs: wall.elapsed().as_secs_f64(),
         }
     });
@@ -175,6 +180,20 @@ fn main() {
 
     for (name, r) in [("control", &base), ("split", &split)] {
         eprintln!("  wall {name}: {:.3}s", r.wall_secs);
+        // Machine-readable per-cell summary (ROADMAP item 3's report
+        // harness convention). stderr only: stdout must stay bit-identical
+        // to the pre-JSON report.
+        eprintln!(
+            r#"{{"bench":"bench_reshard","cell":"{name}","tput_kops":{:.4},"measured_ops":{},"keys_copied":{},"mirrored":{},"bounces":{},"get":{},"update":{},"wall_secs":{:.4}}}"#,
+            r.tput_kops,
+            r.measured_ops,
+            r.stats.keys_copied,
+            r.stats.mirrored,
+            r.stats.bounces,
+            r.get_json,
+            r.update_json,
+            r.wall_secs
+        );
     }
     write_csv(
         "bench_reshard",

@@ -34,7 +34,7 @@ use std::time::Instant;
 
 use swarm_bench::{composed_threads, env_scaled_keys, sweep_on, write_csv, ExpParams, Protocol};
 use swarm_kv::{plan_workload, run_sharded_plan, ShardMode, ShardRunOptions, ShardSpec};
-use swarm_workload::{WorkloadSpec, Zipfian};
+use swarm_workload::{OpType, WorkloadSpec, Zipfian};
 
 /// Client threads (routers) per shard: enough that a single group runs
 /// close to its fabric's saturation knee, so added shards buy throughput.
@@ -62,6 +62,9 @@ struct CellResult {
     measured_ops: u64,
     op_imbalance: f64,
     msg_imbalance: f64,
+    /// Pre-rendered latency summaries (deterministic, for the stderr JSON).
+    get_json: String,
+    update_json: String,
     wall_secs: f64,
 }
 
@@ -139,6 +142,8 @@ fn main() {
             measured_ops: stats.measured_ops,
             op_imbalance,
             msg_imbalance,
+            get_json: stats.lat(OpType::Get).summary_json(),
+            update_json: stats.lat(OpType::Update).summary_json(),
             wall_secs,
         }
     });
@@ -199,6 +204,20 @@ fn main() {
                 "{shards},{clients},{:.4},{wall_eff:.3},{shard_threads}",
                 r.wall_secs
             ));
+            // Machine-readable per-cell summary (ROADMAP item 3's report
+            // harness convention). stderr only: stdout must stay
+            // bit-identical to the pre-JSON report.
+            eprintln!(
+                r#"{{"bench":"bench_shards","dist":"{}","shards":{shards},"clients":{clients},"tput_mops":{:.4},"op_imbalance":{:.3},"msg_imbalance":{:.3},"measured_ops":{},"get":{},"update":{},"wall_secs":{:.4}}}"#,
+                dist.name(),
+                r.tput_mops,
+                r.op_imbalance,
+                r.msg_imbalance,
+                r.measured_ops,
+                r.get_json,
+                r.update_json,
+                r.wall_secs
+            );
         }
         write_csv(
             "bench_shards",

@@ -1,0 +1,326 @@
+//! Tail-latency bench (beyond the paper): p99/p999 under delay spikes,
+//! with and without hedged quorum requests and adaptive protocol routing.
+//!
+//! Eight cells — {calm, spike} × {unhedged, hedged} × {static, adaptive} —
+//! run the identical YCSB B phase on their own seeded `Sim`s. The spike
+//! plan injects rotating one-node delay bursts (+15 µs one-way, 120 µs
+//! long, every 400 µs, node `i % 4`): an op whose optimistic quorum
+//! includes the spiked node stalls until the widen deadline fires, so the
+//! unhedged tail sits at the widen floor while the median stays healthy.
+//! Hedged cells instead send one extra copy to a spare quorum member after
+//! the per-destination p99-tracked delay (`RttTracker`) and complete as
+//! soon as either copy answers, pulling the tail back near the healthy
+//! p99. Adaptive cells additionally arm the per-key contention router
+//! (`AdaptiveConfig`); YCSB B is contention-light, so they double as the
+//! "routing costs nothing when keys are cold" control.
+//!
+//! The widen floor is raised to 20 µs in *all* cells so the hedged-vs-
+//! unhedged gap is attributable to hedging alone, not to a config skew.
+//!
+//! **stdout is the deterministic report** (simulated metrics only — table,
+//! per-cell JSON lines, CSVs; byte-identical across reruns and
+//! `SWARM_BENCH_THREADS`/`SWARM_SHARD_THREADS`). Wall-clock seconds go to
+//! **stderr** and `*_wall.csv`. Default is a quick 40 K-op run per cell;
+//! `--full` measures 400 K ops per cell (pinned in `BENCH_pr9.json`).
+
+use std::time::Instant;
+
+use swarm_bench::{
+    composed_threads, env_scaled_keys, run_workload, sweep_on, write_csv, ExpParams, Protocol,
+};
+use swarm_fabric::{FaultPlan, NodeId, TrafficStats};
+use swarm_kv::{
+    hedge_config, AdaptiveConfig, CacheCapacity, ClusterConfig, RunStats, StoreBuilder,
+};
+use swarm_sim::{Nanos, Sim, NANOS_PER_MILLI};
+use swarm_workload::{OpType, WorkloadSpec};
+
+/// Minimum wait before a stalled quorum widens, all cells (see module doc).
+const WIDEN_FLOOR_NS: Nanos = 20_000;
+/// One-way extra latency on the spiked node. Must exceed the widen floor
+/// roundtrip so a spiked replica never answers before the widen path does.
+const SPIKE_EXTRA_NS: Nanos = 15_000;
+/// Length of each delay burst.
+const SPIKE_LEN_NS: Nanos = 120_000;
+/// Start-to-start spacing of consecutive bursts (rotating over the nodes).
+const SPIKE_EVERY_NS: Nanos = 400_000;
+/// First burst: past bulk load, inside the prewarm/warm-up phase.
+const SPIKE_FROM_NS: Nanos = 2 * NANOS_PER_MILLI;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Plan {
+    Calm,
+    Spike,
+}
+
+#[derive(Clone, Copy)]
+struct Cell {
+    plan: Plan,
+    hedged: bool,
+    adaptive: bool,
+}
+
+impl Cell {
+    fn name(&self) -> String {
+        format!(
+            "{}/{}/{}",
+            match self.plan {
+                Plan::Calm => "calm",
+                Plan::Spike => "spike",
+            },
+            if self.hedged { "hedged" } else { "unhedged" },
+            if self.adaptive { "adaptive" } else { "static" },
+        )
+    }
+}
+
+struct CellResult {
+    cell: Cell,
+    stats: RunStats,
+    traffic: TrafficStats,
+    wall_secs: f64,
+}
+
+/// `count` rotating one-node delay bursts starting at [`SPIKE_FROM_NS`].
+fn spike_plan(nodes: usize, count: u64) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for i in 0..count {
+        plan = plan.delay_spike(
+            SPIKE_FROM_NS + i * SPIKE_EVERY_NS,
+            NodeId(i as usize % nodes),
+            SPIKE_EXTRA_NS,
+            SPIKE_LEN_NS,
+        );
+    }
+    plan
+}
+
+fn run_cell(p: &ExpParams, cell: Cell, spike_count: u64) -> CellResult {
+    let wall = Instant::now();
+    let sim = Sim::new(p.seed);
+    // The widen floor is set through the full cluster config *before* the
+    // fluent knobs (which write into it), so every `ExpParams` field still
+    // applies on top.
+    let mut cc = ClusterConfig::default();
+    cc.quorum.widen_timeout_ns = WIDEN_FLOOR_NS;
+    let mut builder = StoreBuilder::new(Protocol::SafeGuess)
+        .cluster_config(cc)
+        .value_size(p.value_size)
+        .replicas(p.replicas)
+        .max_clients(p.clients)
+        .meta_bufs(p.meta_bufs.unwrap_or(p.clients))
+        .inplace(p.inplace)
+        .cache(CacheCapacity::Unbounded);
+    if cell.hedged {
+        builder = builder.hedge(hedge_config());
+    }
+    if cell.adaptive {
+        builder = builder.adaptive(AdaptiveConfig::on());
+    }
+    let cluster = builder.build_cluster(&sim);
+    let wl = p.workload(WorkloadSpec::B);
+    cluster.load_keys(env_scaled_keys(p.n_keys), |k| wl.value_for(k, 0));
+    if cell.plan == Plan::Spike {
+        cluster
+            .fabric()
+            .apply_fault_plan(&spike_plan(4, spike_count));
+    }
+    let clients: Vec<_> = (0..p.clients).map(|i| cluster.client(i)).collect();
+    let mut rc = p.run_config();
+    rc.prewarm_keys = Some(p.n_keys);
+    let stats = run_workload(&sim, &clients, &wl, &rc);
+    CellResult {
+        cell,
+        stats,
+        traffic: cluster.fabric().stats(),
+        wall_secs: wall.elapsed().as_secs_f64(),
+    }
+}
+
+fn main() {
+    let quick = !std::env::args().any(|a| a == "--full");
+    let p = ExpParams {
+        n_keys: 1 << 14,
+        warmup_ops: if quick { 10_000 } else { 50_000 },
+        measure_ops: if quick { 40_000 } else { 400_000 },
+        concurrency: 1,
+        ..Default::default()
+    };
+    // Bursts must outlast the run (a tail that goes calm near the end would
+    // dilute the unhedged p99): ~1.2 ops/µs aggregate puts the quick run
+    // near 45 ms; schedule generously past both modes' horizons.
+    let spike_count: u64 = if quick { 500 } else { 3_000 };
+    let (cell_threads, _) = composed_threads();
+
+    let cells: Vec<Cell> = [Plan::Calm, Plan::Spike]
+        .iter()
+        .flat_map(|&plan| {
+            [(false, false), (true, false), (false, true), (true, true)]
+                .iter()
+                .map(move |&(hedged, adaptive)| Cell {
+                    plan,
+                    hedged,
+                    adaptive,
+                })
+        })
+        .collect();
+    eprintln!(
+        "bench_tail: {cell_threads} sweep thread(s), {} cells",
+        cells.len()
+    );
+    let mut results = sweep_on(cell_threads, &cells, |&cell| {
+        run_cell(&p, cell, spike_count)
+    });
+
+    println!(
+        "bench_tail: SWARM-KV tail latency, YCSB B over {} keys, {} clients, widen floor {} us",
+        env_scaled_keys(p.n_keys),
+        p.clients,
+        WIDEN_FLOOR_NS / 1_000
+    );
+    println!(
+        "spike plan: +{} us one-way on node i%4, {} us bursts every {} us",
+        SPIKE_EXTRA_NS / 1_000,
+        SPIKE_LEN_NS / 1_000,
+        SPIKE_EVERY_NS / 1_000
+    );
+    println!(
+        "{:>22} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>7}",
+        "cell", "get_p50", "get_p99", "get_p999", "upd_p99", "fired", "won", "dup"
+    );
+    let mut rows = Vec::new();
+    for r in &mut results {
+        let (mut get, mut upd) = (r.stats.lat(OpType::Get), r.stats.lat(OpType::Update));
+        let t = &r.traffic;
+        println!(
+            "{:>22} {:>9.2} {:>9.2} {:>9.2} {:>9.2} {:>7} {:>7} {:>7}",
+            r.cell.name(),
+            get.median() as f64 / 1e3,
+            get.percentile(99.0) as f64 / 1e3,
+            get.p999() as f64 / 1e3,
+            upd.percentile(99.0) as f64 / 1e3,
+            t.hedges_fired,
+            t.hedges_won,
+            t.duplicates_discarded
+        );
+        rows.push(format!(
+            "{},{},{},{},{},{},{},{}",
+            r.cell.name(),
+            get.median(),
+            get.percentile(99.0),
+            get.p999(),
+            upd.percentile(99.0),
+            t.hedges_fired,
+            t.hedges_won,
+            t.duplicates_discarded
+        ));
+    }
+    write_csv(
+        "bench_tail",
+        "cells",
+        "cell,get_p50_ns,get_p99_ns,get_p999_ns,update_p99_ns,hedges_fired,hedges_won,duplicates_discarded",
+        &rows,
+    );
+
+    // Machine-readable per-cell summaries (ROADMAP item 3's report harness
+    // convention): simulated metrics only, so they diff clean like the table.
+    for r in &mut results {
+        let (mut get, mut upd) = (r.stats.lat(OpType::Get), r.stats.lat(OpType::Update));
+        println!(
+            r#"{{"bench":"bench_tail","cell":"{}","plan":"{}","hedge":{},"adaptive":{},"get":{},"update":{},"hedges_fired":{},"hedges_won":{},"duplicates_discarded":{}}}"#,
+            r.cell.name(),
+            if r.cell.plan == Plan::Spike {
+                "spike"
+            } else {
+                "calm"
+            },
+            r.cell.hedged,
+            r.cell.adaptive,
+            get.summary_json(),
+            upd.summary_json(),
+            r.traffic.hedges_fired,
+            r.traffic.hedges_won,
+            r.traffic.duplicates_discarded
+        );
+    }
+
+    // The headline claims, asserted on every run (quick and full).
+    let summaries: Vec<(Cell, Nanos, Nanos)> = results
+        .iter_mut()
+        .map(|r| {
+            let mut get = r.stats.lat(OpType::Get);
+            (r.cell, get.median(), get.percentile(99.0))
+        })
+        .collect();
+    let find = |plan: Plan, hedged: bool, adaptive: bool| {
+        summaries
+            .iter()
+            .find(|(c, _, _)| c.plan == plan && c.hedged == hedged && c.adaptive == adaptive)
+            .expect("all eight cells ran")
+    };
+    for &adaptive in &[false, true] {
+        let (_, _, un99) = find(Plan::Spike, false, adaptive);
+        let (_, _, he99) = find(Plan::Spike, true, adaptive);
+        assert!(
+            2 * he99 <= *un99,
+            "hedging must at least halve the spiked get p99 (adaptive={adaptive}: {he99} vs {un99} ns)"
+        );
+        for &plan in &[Plan::Calm, Plan::Spike] {
+            let (_, un50, _) = find(plan, false, adaptive);
+            let (_, he50, _) = find(plan, true, adaptive);
+            assert!(
+                *he50 as f64 <= *un50 as f64 * 1.05,
+                "hedging must not regress the median by more than 5% ({he50} vs {un50} ns)"
+            );
+        }
+    }
+    for r in &results {
+        let t = &r.traffic;
+        if r.cell.hedged {
+            assert_eq!(
+                t.hedges_won + t.duplicates_discarded,
+                t.hedges_fired,
+                "{}: every fired hedge settles exactly once",
+                r.cell.name()
+            );
+        } else {
+            assert_eq!(
+                (t.hedges_fired, t.hedges_won, t.duplicates_discarded),
+                (0, 0, 0),
+                "{}: disabled hedging must leave the counters untouched",
+                r.cell.name()
+            );
+        }
+    }
+    let spiked_hedged = results
+        .iter()
+        .find(|r| r.cell.plan == Plan::Spike && r.cell.hedged && !r.cell.adaptive)
+        .expect("all eight cells ran");
+    assert!(
+        spiked_hedged.traffic.hedges_fired > 0,
+        "the spiked hedged cell must actually hedge"
+    );
+
+    println!("\nexpectation: the spike parks unhedged stragglers at the widen floor, so the");
+    println!(
+        "unhedged spiked p99 sits near {} us while the median stays healthy; hedged",
+        WIDEN_FLOOR_NS / 1_000
+    );
+    println!("cells re-issue to a spare replica after the tracked per-node p99 and pull the");
+    println!("tail back near the calm p99 at the cost of a small duplicate-message budget.");
+    println!("adaptive routing stays quiet on this contention-light mix (same numbers), ");
+    println!("demonstrating it costs nothing on cold keys.");
+
+    for r in &results {
+        eprintln!("  wall {}: {:.3}s", r.cell.name(), r.wall_secs);
+    }
+    write_csv(
+        "bench_tail",
+        "wall",
+        "cell,wall_secs",
+        &results
+            .iter()
+            .map(|r| format!("{},{:.4}", r.cell.name(), r.wall_secs))
+            .collect::<Vec<_>>(),
+    );
+}

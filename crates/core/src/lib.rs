@@ -88,6 +88,9 @@ pub use maxreg::ReliableMaxReg;
 pub use safeguess::{Abd, ReadOutcome, ReadPath, SafeGuess, WritePath};
 pub use sim_replica::{SimReplica, SimReplicaState};
 pub use stamp::{Stamp, TsGuesser, I_MAX, TICK_NS};
-pub use traits::{MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds, Snapshot};
+pub use traits::{
+    HedgeConfig, HedgeTicket, Hedger, MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds,
+    RttTracker, Snapshot,
+};
 pub use tslock::{LockMode, TsLock, TsLockSet};
 pub use value::MVal;

@@ -4,6 +4,18 @@
 //! (chosen per register to spread load) and widen to all replicas when a
 //! response is slow; a per-client local cache makes the write-back phase of
 //! reads free in the common case.
+//!
+//! With a [`Hedger`] attached ([`ReliableMaxReg::with_hedger`]), quorum
+//! waits gain one extra stage between the optimistic send and the widen
+//! deadline: if the quorum is still short after the slowest contacted
+//! node's tracked p99 RTT, one copy of the request goes to a *spare* quorum
+//! member (a replica not yet contacted in this operation — never a
+//! duplicate to an already-counted replica, which would double-count it
+//! toward the majority) and the first responses win. Duplicate delivery is
+//! idempotent: reads and CAS-MAX writes commute with themselves. Hedging
+//! draws no RNG and is armed purely from virtual time + the RTT tracker, so
+//! hedged runs are bit-reproducible and a `None` hedger leaves every code
+//! path byte-identical to the pre-hedging implementation.
 
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -11,7 +23,9 @@ use std::rc::Rc;
 use swarm_sim::{timeout_at, Nanos, Quorum, Sim};
 
 use crate::stamp::Stamp;
-use crate::traits::{MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds, Snapshot};
+use crate::traits::{
+    HedgeTicket, Hedger, MaxRegister, NodeHealth, QuorumConfig, ReplicaClient, Rounds, Snapshot,
+};
 use crate::value::MVal;
 
 struct Inner<R> {
@@ -30,6 +44,9 @@ struct Inner<R> {
     /// Roundtrips of background work (verified upgrades, replica refresh):
     /// counted separately so per-operation accounting (Table 2) is clean.
     bg_rounds: Rounds,
+    /// Tail-latency hedging (shared per client, like `health`); `None` —
+    /// the default — is bit-identical to the pre-hedging code.
+    hedger: Option<Hedger>,
 }
 
 /// Majority-replicated max register (the `M` of ABD and Safe-Guess).
@@ -57,6 +74,24 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
         cfg: QuorumConfig,
         rounds: Rounds,
     ) -> Self {
+        Self::with_hedger(sim, replicas, node_of, rotation, health, cfg, rounds, None)
+    }
+
+    /// [`ReliableMaxReg::new`] with an optional per-client [`Hedger`]
+    /// attached (see the module docs for the staged hedged wait). All
+    /// existing call sites use `new`, i.e. no hedger, and replay
+    /// bit-identically.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_hedger(
+        sim: &Sim,
+        replicas: Vec<R>,
+        node_of: Vec<usize>,
+        rotation: usize,
+        health: Rc<NodeHealth>,
+        cfg: QuorumConfig,
+        rounds: Rounds,
+        hedger: Option<Hedger>,
+    ) -> Self {
         let n = replicas.len();
         assert!(n >= 1, "register needs at least one replica");
         assert_eq!(node_of.len(), n, "one hosting node per replica");
@@ -72,6 +107,7 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
                 cfg,
                 rounds,
                 bg_rounds: Rounds::new(),
+                hedger,
             }),
         }
     }
@@ -121,6 +157,82 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
         }
     }
 
+    /// Pushes replica `i`'s write onto `q`. On hedged clients the future is
+    /// wrapped to feed the per-node RTT tracker on completion — the wrapper
+    /// draws no RNG and schedules no events, and unhedged clients push the
+    /// raw future exactly as before.
+    fn push_write(&self, q: &mut Quorum<()>, i: usize, v: &MVal) {
+        let fut = self.inner.replicas[i].clone().write(v.clone());
+        match &self.inner.hedger {
+            None => {
+                q.push(fut);
+            }
+            Some(h) => {
+                let h = h.clone();
+                let sim = self.inner.sim.clone();
+                let node = self.inner.node_of[i];
+                let t0 = sim.now();
+                q.push(async move {
+                    fut.await;
+                    h.observe(node, sim.now() - t0);
+                });
+            }
+        }
+    }
+
+    /// [`ReliableMaxReg::push_write`] for snapshot reads.
+    fn push_read(&self, q: &mut Quorum<Snapshot>, i: usize) {
+        let fut = self.inner.replicas[i].clone().read();
+        match &self.inner.hedger {
+            None => {
+                q.push(fut);
+            }
+            Some(h) => {
+                let h = h.clone();
+                let sim = self.inner.sim.clone();
+                let node = self.inner.node_of[i];
+                let t0 = sim.now();
+                q.push(async move {
+                    let snap = fut.await;
+                    h.observe(node, sim.now() - t0);
+                    snap
+                });
+            }
+        }
+    }
+
+    /// [`ReliableMaxReg::push_write`] for payload fetches.
+    fn push_fetch(&self, q: &mut Quorum<MVal>, i: usize, token: u64) {
+        let fut = self.inner.replicas[i].clone().fetch(token);
+        match &self.inner.hedger {
+            None => {
+                q.push(fut);
+            }
+            Some(h) => {
+                let h = h.clone();
+                let sim = self.inner.sim.clone();
+                let node = self.inner.node_of[i];
+                let t0 = sim.now();
+                q.push(async move {
+                    let v = fut.await;
+                    h.observe(node, sim.now() - t0);
+                    v
+                });
+            }
+        }
+    }
+
+    /// Settles fired hedges after the op's quorum waits are over: a hedge
+    /// whose response landed in time counted toward the quorum (won); one
+    /// still pending was superfluous and its delivery is discarded
+    /// idempotently. (If the op future is cancelled before this runs, the
+    /// tickets' `Drop` settles them as discarded instead.)
+    fn settle_hedges<T>(&self, hedges: Vec<(usize, HedgeTicket)>, q: &Quorum<T>) {
+        for (slot, ticket) in hedges {
+            ticket.settle(q.results()[slot].is_some());
+        }
+    }
+
     /// The write-to-majority core (Algorithm 8 `inner_write`): returns once
     /// `v` is stored at a majority, costing 0 RTTs when the cache already
     /// proves it, 1 RTT commonly, more when quorums must widen.
@@ -144,21 +256,47 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
 
         rounds.bump();
         let t0 = self.inner.sim.now();
-        let mut q = Quorum::new(maj - good);
+        let needed = maj - good;
+        let mut q = Quorum::new(needed);
         let mut map = Vec::new();
         let order = self.contact_order();
-        for &i in order.iter().filter(|&&i| !already[i]).take(maj - good) {
+        for &i in order.iter().filter(|&&i| !already[i]).take(needed) {
             map.push(i);
-            q.push(self.inner.replicas[i].clone().write(v.clone()));
+            self.push_write(&mut q, i, v);
         }
-        if timeout_at(&self.inner.sim, self.deadline(), &mut q)
-            .await
-            .is_err()
-        {
+        let widen_at = self.deadline();
+        let mut hedges: Vec<(usize, HedgeTicket)> = Vec::new();
+        // Hedge stage: if a contacted node's tracked p99 elapses before the
+        // widen deadline and the quorum is still short, send one duplicate
+        // request per missing response to spare quorum members (never to a
+        // replica already counted, which would double-count it).
+        if let Some(h) = self.inner.hedger.clone() {
+            if let Some(d) = h.delay_for(map.iter().map(|&i| self.inner.node_of[i])) {
+                let hedge_at = t0 + d;
+                if hedge_at < widen_at
+                    && timeout_at(&self.inner.sim, hedge_at, &mut q).await.is_err()
+                {
+                    let shortfall = needed - q.completed();
+                    let spares: Vec<usize> = order
+                        .iter()
+                        .copied()
+                        .filter(|i| !map.contains(i) && !already[*i])
+                        .take(shortfall)
+                        .collect();
+                    for i in spares {
+                        let Some(ticket) = h.try_fire() else { break };
+                        hedges.push((map.len(), ticket));
+                        map.push(i);
+                        self.push_write(&mut q, i, v);
+                    }
+                }
+            }
+        }
+        if timeout_at(&self.inner.sim, widen_at, &mut q).await.is_err() {
             // Widen: suspect stragglers, contact every remaining replica.
             rounds.bump();
             for (slot, &i) in map.iter().enumerate() {
-                if q.results()[slot].is_none() {
+                if q.results()[slot].is_none() && !hedges.iter().any(|(s, _)| *s == slot) {
                     self.inner.health.suspect(self.inner.node_of[i]);
                 }
             }
@@ -169,11 +307,12 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
                 .collect();
             for i in extra {
                 map.push(i);
-                q.push(self.inner.replicas[i].clone().write(v.clone()));
+                self.push_write(&mut q, i, v);
             }
             (&mut q).await;
         }
         self.inner.health.observe_rtt(self.inner.sim.now() - t0);
+        self.settle_hedges(hedges, &q);
         for (slot, &i) in map.iter().enumerate() {
             if q.results()[slot].is_some() {
                 self.note_stored(i, v.stamp);
@@ -202,25 +341,49 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
         let mut map = Vec::new();
         for &i in order.iter().take(maj) {
             map.push(i);
-            q.push(self.inner.replicas[i].clone().read());
+            self.push_read(&mut q, i);
         }
-        if timeout_at(&self.inner.sim, self.deadline(), &mut q)
-            .await
-            .is_err()
-        {
+        let widen_at = self.deadline();
+        let mut hedges: Vec<(usize, HedgeTicket)> = Vec::new();
+        // Hedge stage — same staged wait as `inner_write` (see module docs).
+        if let Some(h) = self.inner.hedger.clone() {
+            if let Some(d) = h.delay_for(map.iter().map(|&i| self.inner.node_of[i])) {
+                let hedge_at = t0 + d;
+                if hedge_at < widen_at
+                    && timeout_at(&self.inner.sim, hedge_at, &mut q).await.is_err()
+                {
+                    let shortfall = maj - q.completed();
+                    let spares: Vec<usize> = order
+                        .iter()
+                        .copied()
+                        .filter(|i| !map.contains(i))
+                        .take(shortfall)
+                        .collect();
+                    for i in spares {
+                        let Some(ticket) = h.try_fire() else { break };
+                        hedges.push((map.len(), ticket));
+                        map.push(i);
+                        self.push_read(&mut q, i);
+                    }
+                }
+            }
+        }
+        if timeout_at(&self.inner.sim, widen_at, &mut q).await.is_err() {
             self.inner.rounds.bump();
             for (slot, &i) in map.iter().enumerate() {
-                if q.results()[slot].is_none() {
+                if q.results()[slot].is_none() && !hedges.iter().any(|(s, _)| *s == slot) {
                     self.inner.health.suspect(self.inner.node_of[i]);
                 }
             }
-            for &i in order.iter().skip(maj) {
+            let extra: Vec<usize> = order.iter().copied().filter(|i| !map.contains(i)).collect();
+            for i in extra {
                 map.push(i);
-                q.push(self.inner.replicas[i].clone().read());
+                self.push_read(&mut q, i);
             }
             (&mut q).await;
         }
         self.inner.health.observe_rtt(self.inner.sim.now() - t0);
+        self.settle_hedges(hedges, &q);
         let mut out = Vec::new();
         for (slot, &i) in map.iter().enumerate() {
             if let Some(snap) = q.results()[slot].clone() {
@@ -259,16 +422,44 @@ impl<R: ReplicaClient> ReliableMaxReg<R> {
             None => {
                 // Payload not co-located: chase it (the replica client
                 // counts the chase roundtrips itself).
+                let t0 = self.inner.sim.now();
+                let widen_at = self.deadline();
                 let mut q = Quorum::new(1);
-                q.push(self.inner.replicas[idx].clone().fetch(snap.token));
-                if timeout_at(&self.inner.sim, self.deadline(), &mut q)
-                    .await
-                    .is_err()
-                {
+                self.push_fetch(&mut q, idx, snap.token);
+                // Hedge stage: with only one candidate replica for the
+                // payload, the duplicate goes to the *same* replica — safe
+                // here (needed = 1, fetches are idempotent, and a duplicate
+                // cannot double-count toward a majority).
+                let mut hedge: Option<HedgeTicket> = None;
+                if let Some(h) = self.inner.hedger.clone() {
+                    if let Some(d) = h.delay_for(std::iter::once(self.inner.node_of[idx])) {
+                        let hedge_at = t0 + d;
+                        if hedge_at < widen_at
+                            && timeout_at(&self.inner.sim, hedge_at, &mut q).await.is_err()
+                        {
+                            if let Some(ticket) = h.try_fire() {
+                                hedge = Some(ticket);
+                                self.push_fetch(&mut q, idx, snap.token);
+                            }
+                        }
+                    }
+                }
+                if timeout_at(&self.inner.sim, widen_at, &mut q).await.is_err() {
+                    if let Some(t) = hedge.take() {
+                        t.settle(q.results()[1].is_some());
+                    }
                     self.inner.health.suspect(self.inner.node_of[idx]);
                     return None;
                 }
-                let v = q.take_results().remove(0).unwrap();
+                if let Some(t) = hedge {
+                    t.settle(q.results()[1].is_some());
+                }
+                let v = q
+                    .take_results()
+                    .into_iter()
+                    .flatten()
+                    .next()
+                    .expect("completed fetch quorum has a result");
                 self.note_stored(idx, v.stamp);
                 v
             }
@@ -439,6 +630,100 @@ mod tests {
             assert_eq!(reg.rounds().get() - after_write, 1);
         });
         assert!(rounds.get() >= 2);
+    }
+
+    fn setup_hedged(
+        seed: u64,
+        n: usize,
+    ) -> (
+        Sim,
+        Vec<Rc<SimReplicaState>>,
+        ReliableMaxReg<SimReplica>,
+        Hedger,
+    ) {
+        use crate::traits::HedgeConfig;
+        let sim = Sim::new(seed);
+        let states: Vec<_> = (0..n).map(|_| SimReplicaState::new()).collect();
+        let replicas: Vec<_> = states
+            .iter()
+            .map(|s| SimReplica::new(&sim, Rc::clone(s), 700))
+            .collect();
+        // min_samples = 1 so the tracker arms after a single warm-up op.
+        let cfg = HedgeConfig {
+            min_samples: 1,
+            ..HedgeConfig::on()
+        };
+        let hedger = Hedger::new(cfg, n, None).unwrap();
+        let reg = ReliableMaxReg::with_hedger(
+            &sim,
+            replicas,
+            (0..n).collect(),
+            0,
+            NodeHealth::new(n),
+            QuorumConfig::default(),
+            Rounds::new(),
+            Some(hedger.clone()),
+        );
+        (sim, states, reg, hedger)
+    }
+
+    #[test]
+    fn hedged_write_beats_the_widen_timeout_under_a_delay_spike() {
+        let (sim, states, reg, hedger) = setup_hedged(11, 3);
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            // Warm up the RTT tracker on the two optimistically contacted
+            // replicas, then spike one of them well past the widen floor.
+            for i in 1..=4u64 {
+                reg.write(MVal::new(Stamp::verified(i, 0), vec![i as u8]))
+                    .await;
+            }
+            states[1].set_extra_delay(200_000);
+            let t0 = sim2.now();
+            reg.write(MVal::new(Stamp::verified(9, 0), vec![9])).await;
+            let took = sim2.now() - t0;
+            // The hedge to the spare replica completes the quorum well
+            // before the widen deadline (>= 6 us) would even fire.
+            assert!(took < 6_000, "hedged write took {took} ns");
+            // The spare replica (index 2) holds the value: the hedge won.
+            assert_eq!(states[2].current().stamp, Stamp::verified(9, 0));
+            assert_eq!(hedger.inflight(), 0, "hedge budget not settled");
+        });
+    }
+
+    #[test]
+    fn hedged_read_beats_the_widen_timeout_under_a_delay_spike() {
+        let (sim, states, reg, hedger) = setup_hedged(12, 3);
+        let sim2 = sim.clone();
+        sim.block_on(async move {
+            for i in 1..=4u64 {
+                reg.write(MVal::new(Stamp::verified(i, 0), vec![i as u8]))
+                    .await;
+            }
+            reg.read().await;
+            states[0].set_extra_delay(200_000);
+            let t0 = sim2.now();
+            let v = reg.read().await;
+            let took = sim2.now() - t0;
+            assert_eq!(v.stamp, Stamp::verified(4, 0));
+            assert!(took < 6_000, "hedged read took {took} ns");
+            assert_eq!(hedger.inflight(), 0, "hedge budget not settled");
+        });
+    }
+
+    #[test]
+    fn hedge_budget_settles_to_zero_under_healthy_load() {
+        // Healthy replicas: ops mostly complete before the hedge delay, and
+        // any hedge that does fire is settled, so the budget drains to zero.
+        let (sim, _, reg, hedger) = setup_hedged(13, 3);
+        sim.block_on(async move {
+            for i in 1..=20u64 {
+                reg.write(MVal::new(Stamp::verified(i, 0), vec![i as u8]))
+                    .await;
+                reg.read().await;
+            }
+            assert_eq!(hedger.inflight(), 0);
+        });
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::value::MVal;
 pub struct SimReplicaState {
     state: RefCell<MVal>,
     alive: Cell<bool>,
+    extra_delay_ns: Cell<Nanos>,
 }
 
 impl SimReplicaState {
@@ -30,12 +31,19 @@ impl SimReplicaState {
         Rc::new(SimReplicaState {
             state: RefCell::new(MVal::initial()),
             alive: Cell::new(true),
+            extra_delay_ns: Cell::new(0),
         })
     }
 
     /// Crashes the replica: requests go unanswered from now on.
     pub fn crash(&self) {
         self.alive.set(false);
+    }
+
+    /// Injects a fixed extra service delay into every subsequent request
+    /// (a delay spike, for tail-latency tests); `0` restores normal speed.
+    pub fn set_extra_delay(&self, ns: Nanos) {
+        self.extra_delay_ns.set(ns);
     }
 
     /// Current stored maximum (test inspection).
@@ -49,6 +57,7 @@ impl Default for SimReplicaState {
         SimReplicaState {
             state: RefCell::new(MVal::initial()),
             alive: Cell::new(true),
+            extra_delay_ns: Cell::new(0),
         }
     }
 }
@@ -82,12 +91,22 @@ impl SimReplica {
             std::future::pending::<()>().await;
         }
     }
+
+    /// Serves an injected delay spike, if one is active. Sleeps only when a
+    /// spike is set, so spike-free executions replay bit-identically.
+    async fn spike(&self) {
+        let extra = self.state.extra_delay_ns.get();
+        if extra > 0 {
+            self.sim.sleep_ns(extra).await;
+        }
+    }
 }
 
 impl ReplicaClient for SimReplica {
     async fn write(self, v: MVal) {
         self.sim.sleep_ns(self.leg()).await;
         self.if_dead_hang_forever().await;
+        self.spike().await;
         {
             // Atomic MAX at a single instant: the idealization.
             let mut cur = self.state.state.borrow_mut();
@@ -101,6 +120,7 @@ impl ReplicaClient for SimReplica {
     async fn read(self) -> Snapshot {
         self.sim.sleep_ns(self.leg()).await;
         self.if_dead_hang_forever().await;
+        self.spike().await;
         let cur = self.state.state.borrow().clone();
         self.sim.sleep_ns(self.leg()).await;
         Snapshot {
@@ -113,6 +133,7 @@ impl ReplicaClient for SimReplica {
     async fn fetch(self, _token: u64) -> MVal {
         self.sim.sleep_ns(self.leg()).await;
         self.if_dead_hang_forever().await;
+        self.spike().await;
         let cur = self.state.state.borrow().clone();
         self.sim.sleep_ns(self.leg()).await;
         cur

@@ -4,7 +4,7 @@ use std::cell::{Cell, RefCell};
 use std::future::Future;
 use std::rc::Rc;
 
-use swarm_sim::Nanos;
+use swarm_sim::{Histogram, Nanos};
 
 use crate::stamp::Stamp;
 use crate::value::MVal;
@@ -151,6 +151,242 @@ impl NodeHealth {
     }
 }
 
+/// Tail-latency hedging knobs (§"tail at scale"-style request hedging).
+///
+/// Off by default: with `enabled = false` no [`Hedger`] is minted, no extra
+/// timers are scheduled, no RNG is drawn, and every existing execution
+/// replays bit-identically (the same discipline as the repair subsystem).
+/// When enabled, a quorum operation that is still incomplete after the
+/// slowest contacted node's tracked `delay_pct` latency sends one extra copy
+/// of the request to spare quorum members; first response wins and the
+/// loser's delivery is idempotent (reads and CAS-MAX writes commute with
+/// themselves).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HedgeConfig {
+    /// Master switch; `false` is bit-identical to the pre-hedging code.
+    pub enabled: bool,
+    /// Percentile of the per-destination RTT window that arms the hedge
+    /// (`SWARM_HEDGE_DELAY_PCT`; default 99.0).
+    pub delay_pct: f64,
+    /// Per-node samples required before hedging arms: until every contacted
+    /// node has an estimate, operations run unhedged.
+    pub min_samples: usize,
+    /// Maximum hedges in flight per client across all its registers
+    /// (`SWARM_HEDGE_MAX_INFLIGHT`); excess stragglers fall through to the
+    /// ordinary widen path.
+    pub max_inflight: usize,
+    /// Per-node RTT window size: the percentile estimate refreshes from the
+    /// last `window` samples.
+    pub window: usize,
+}
+
+impl HedgeConfig {
+    /// Hedging off — the default, bit-identical to pre-hedging executions.
+    pub fn disabled() -> Self {
+        HedgeConfig {
+            enabled: false,
+            ..Self::on()
+        }
+    }
+
+    /// Hedging on with the default tuning (p99 arm, 4 in flight, 512-sample
+    /// windows).
+    pub fn on() -> Self {
+        HedgeConfig {
+            enabled: true,
+            delay_pct: 99.0,
+            min_samples: 16,
+            max_inflight: 4,
+            window: 512,
+        }
+    }
+}
+
+impl Default for HedgeConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+/// Per-node exact-percentile RTT windows (built on
+/// [`swarm_sim::Histogram`]): the estimator behind hedged requests.
+///
+/// Each node keeps a rolling window of observed request RTTs; the
+/// `delay_pct` percentile is recomputed every [`HedgeConfig::min_samples`]
+/// observations (and the window restarts after
+/// [`HedgeConfig::window`] samples), so the estimate tracks latency shifts
+/// without sorting on every query.
+#[derive(Debug)]
+pub struct RttTracker {
+    pct: f64,
+    min_samples: usize,
+    window: usize,
+    nodes: RefCell<Vec<NodeWindow>>,
+}
+
+#[derive(Debug, Default)]
+struct NodeWindow {
+    hist: Histogram,
+    est: Option<Nanos>,
+}
+
+impl RttTracker {
+    /// Creates a tracker for `n` nodes with the given estimator tuning.
+    pub fn new(n: usize, cfg: &HedgeConfig) -> Self {
+        RttTracker {
+            pct: cfg.delay_pct,
+            min_samples: cfg.min_samples.max(1),
+            window: cfg.window.max(2),
+            nodes: RefCell::new((0..n).map(|_| NodeWindow::default()).collect()),
+        }
+    }
+
+    /// Feeds one observed RTT for `node`.
+    pub fn observe(&self, node: usize, ns: Nanos) {
+        let mut nodes = self.nodes.borrow_mut();
+        let w = &mut nodes[node];
+        w.hist.record(ns);
+        let n = w.hist.len();
+        if n >= self.window {
+            w.est = Some(w.hist.percentile(self.pct));
+            w.hist = Histogram::new();
+        } else if n.is_multiple_of(self.min_samples) {
+            w.est = Some(w.hist.percentile(self.pct));
+        }
+    }
+
+    /// The current `delay_pct` estimate for `node` (`None` until the node
+    /// has at least [`HedgeConfig::min_samples`] observations).
+    pub fn estimate(&self, node: usize) -> Option<Nanos> {
+        self.nodes.borrow()[node].est
+    }
+}
+
+/// Per-client hedging state shared by all of a client's registers (like
+/// [`NodeHealth`]): config + RTT tracker + the in-flight hedge budget +
+/// the fabric counter sink.
+///
+/// Deterministic by construction: arming decisions read only virtual time
+/// and the tracker (no RNG), so hedged runs are bit-reproducible and a
+/// `None` hedger leaves every code path untouched.
+#[derive(Clone)]
+pub struct Hedger {
+    inner: Rc<HedgerInner>,
+}
+
+struct HedgerInner {
+    cfg: HedgeConfig,
+    tracker: RttTracker,
+    inflight: Cell<usize>,
+    /// Counter sink: hedge events land in the fabric's [`TrafficStats`]
+    /// (`None` in substrate-less unit tests).
+    fabric: Option<swarm_fabric::Fabric>,
+}
+
+impl Hedger {
+    /// Mints a hedger for `nodes` nodes, or `None` when `cfg` is disabled —
+    /// the "off" representation that guarantees bit-parity.
+    pub fn new(
+        cfg: HedgeConfig,
+        nodes: usize,
+        fabric: Option<swarm_fabric::Fabric>,
+    ) -> Option<Self> {
+        if !cfg.enabled {
+            return None;
+        }
+        Some(Hedger {
+            inner: Rc::new(HedgerInner {
+                tracker: RttTracker::new(nodes, &cfg),
+                cfg,
+                inflight: Cell::new(0),
+                fabric,
+            }),
+        })
+    }
+
+    /// Feeds one observed per-node request RTT.
+    pub fn observe(&self, node: usize, ns: Nanos) {
+        self.inner.tracker.observe(node, ns);
+    }
+
+    /// The hedge delay for a quorum contacting `nodes`: the slowest
+    /// contacted node's tracked percentile. `None` (operation runs
+    /// unhedged) until every contacted node has an estimate.
+    pub fn delay_for(&self, nodes: impl Iterator<Item = usize>) -> Option<Nanos> {
+        let mut max: Option<Nanos> = None;
+        for n in nodes {
+            let est = self.inner.tracker.estimate(n)?;
+            max = Some(max.map_or(est, |m| m.max(est)));
+        }
+        max
+    }
+
+    /// Claims one slot of the in-flight hedge budget and counts the hedge
+    /// as fired; `None` when the budget is exhausted (the op falls through
+    /// to the ordinary widen path). The returned [`HedgeTicket`] must be
+    /// settled with the hedge's outcome; if the operation future is
+    /// cancelled first (e.g. at its op deadline), dropping the unsettled
+    /// ticket settles it as discarded — the budget can never leak.
+    pub fn try_fire(&self) -> Option<HedgeTicket> {
+        if self.inner.inflight.get() >= self.inner.cfg.max_inflight {
+            return None;
+        }
+        self.inner.inflight.set(self.inner.inflight.get() + 1);
+        if let Some(f) = &self.inner.fabric {
+            f.note_hedge_fired();
+        }
+        Some(HedgeTicket {
+            hedger: self.clone(),
+            settled: false,
+        })
+    }
+
+    /// Releases a fired hedge's budget slot and records its outcome.
+    fn release(&self, won: bool) {
+        self.inner.inflight.set(self.inner.inflight.get() - 1);
+        if let Some(f) = &self.inner.fabric {
+            if won {
+                f.note_hedge_won();
+            } else {
+                f.note_duplicate_discarded();
+            }
+        }
+    }
+
+    /// Hedges currently in flight (tests).
+    pub fn inflight(&self) -> usize {
+        self.inner.inflight.get()
+    }
+}
+
+/// One claimed slot of a [`Hedger`]'s in-flight budget (see
+/// [`Hedger::try_fire`]). Settling records the hedge's outcome; an
+/// unsettled ticket settles as *discarded* when dropped, so cancelled
+/// operations (op-deadline timeouts dropping the future between fire and
+/// settle) still release the budget and `fired == won + discarded` holds.
+pub struct HedgeTicket {
+    hedger: Hedger,
+    settled: bool,
+}
+
+impl HedgeTicket {
+    /// Releases the budget slot, recording `won` if the hedge's response
+    /// counted toward completing the operation (otherwise the duplicate
+    /// was discarded).
+    pub fn settle(mut self, won: bool) {
+        self.settled = true;
+        self.hedger.release(won);
+    }
+}
+
+impl Drop for HedgeTicket {
+    fn drop(&mut self) {
+        if !self.settled {
+            self.hedger.release(false);
+        }
+    }
+}
+
 /// Shared roundtrip counter: protocols bump it once per *sequential* network
 /// phase, so the KV layer can report per-operation roundtrip counts
 /// (Table 2) by differencing.
@@ -235,5 +471,99 @@ mod tests {
         r.bump();
         r2.add(2);
         assert_eq!(r.get(), 3);
+    }
+
+    #[test]
+    fn rtt_tracker_estimates_after_min_samples() {
+        let cfg = HedgeConfig {
+            min_samples: 4,
+            window: 16,
+            ..HedgeConfig::on()
+        };
+        let t = RttTracker::new(2, &cfg);
+        assert_eq!(t.estimate(0), None);
+        for ns in [100, 200, 300, 400] {
+            t.observe(0, ns);
+        }
+        // p99 of a 4-sample window is its maximum.
+        assert_eq!(t.estimate(0), Some(400));
+        // Other nodes stay unestimated.
+        assert_eq!(t.estimate(1), None);
+        // The estimate refreshes as the window rolls.
+        for _ in 0..4 {
+            t.observe(0, 1_000);
+        }
+        assert_eq!(t.estimate(0), Some(1_000));
+    }
+
+    #[test]
+    fn rtt_tracker_window_restarts_and_forgets() {
+        let cfg = HedgeConfig {
+            min_samples: 2,
+            window: 4,
+            ..HedgeConfig::on()
+        };
+        let t = RttTracker::new(1, &cfg);
+        for ns in [9_000, 9_000, 9_000, 9_000] {
+            t.observe(0, ns);
+        }
+        assert_eq!(t.estimate(0), Some(9_000));
+        // A fresh window of fast samples replaces the slow estimate.
+        for ns in [10, 10, 10, 10] {
+            t.observe(0, ns);
+        }
+        assert_eq!(t.estimate(0), Some(10));
+    }
+
+    #[test]
+    fn disabled_hedge_config_mints_no_hedger() {
+        assert!(Hedger::new(HedgeConfig::disabled(), 3, None).is_none());
+        assert!(Hedger::new(HedgeConfig::default(), 3, None).is_none());
+        assert!(Hedger::new(HedgeConfig::on(), 3, None).is_some());
+    }
+
+    #[test]
+    fn hedger_delay_is_slowest_contacted_estimate() {
+        let h = Hedger::new(
+            HedgeConfig {
+                min_samples: 1,
+                ..HedgeConfig::on()
+            },
+            3,
+            None,
+        )
+        .unwrap();
+        h.observe(0, 500);
+        h.observe(1, 2_000);
+        // Node 2 has no estimate yet: quorums touching it run unhedged.
+        assert_eq!(h.delay_for([0, 2].into_iter()), None);
+        assert_eq!(h.delay_for([0].into_iter()), Some(500));
+        assert_eq!(h.delay_for([0, 1].into_iter()), Some(2_000));
+    }
+
+    #[test]
+    fn hedge_budget_caps_inflight_and_settles() {
+        let h = Hedger::new(
+            HedgeConfig {
+                max_inflight: 2,
+                ..HedgeConfig::on()
+            },
+            3,
+            None,
+        )
+        .unwrap();
+        let t1 = h.try_fire().unwrap();
+        let t2 = h.try_fire().unwrap();
+        assert!(h.try_fire().is_none(), "budget of 2 exhausted");
+        t1.settle(true);
+        assert_eq!(h.inflight(), 1);
+        let t3 = h.try_fire().expect("settling frees a slot");
+        t2.settle(false);
+        t3.settle(false);
+        assert_eq!(h.inflight(), 0);
+        // A cancelled op drops its ticket unsettled: the budget still
+        // releases (as a discarded duplicate), never leaking a slot.
+        drop(h.try_fire().unwrap());
+        assert_eq!(h.inflight(), 0);
     }
 }

@@ -19,15 +19,34 @@ pub struct TrafficStats {
     pub messages: u64,
     /// Total request + response bytes.
     pub bytes: u64,
+    /// Hedge requests issued (tail-latency mitigation): extra copies of a
+    /// quorum request sent after the per-destination p99 delay elapsed.
+    /// Always 0 with hedging disabled.
+    pub hedges_fired: u64,
+    /// Hedges whose response arrived in time to count toward completing the
+    /// operation that fired them.
+    pub hedges_won: u64,
+    /// Hedges whose response was not needed (the original quorum completed
+    /// first); their delivery is idempotently discarded.
+    pub duplicates_discarded: u64,
 }
 
 impl std::ops::AddAssign for TrafficStats {
     // Field-exhaustive so aggregation (e.g. a sharded cluster summing its
     // per-shard fabrics) cannot silently drop a counter added later.
     fn add_assign(&mut self, rhs: TrafficStats) {
-        let TrafficStats { messages, bytes } = rhs;
+        let TrafficStats {
+            messages,
+            bytes,
+            hedges_fired,
+            hedges_won,
+            duplicates_discarded,
+        } = rhs;
         self.messages += messages;
         self.bytes += bytes;
+        self.hedges_fired += hedges_fired;
+        self.hedges_won += hedges_won;
+        self.duplicates_discarded += duplicates_discarded;
     }
 }
 
@@ -275,6 +294,27 @@ impl Fabric {
         s.bytes += bytes as u64;
         self.inner.stats.set(s);
     }
+
+    /// Records one hedge request fired (tail-latency layer).
+    pub fn note_hedge_fired(&self) {
+        let mut s = self.inner.stats.get();
+        s.hedges_fired += 1;
+        self.inner.stats.set(s);
+    }
+
+    /// Records a hedge whose response counted toward its operation.
+    pub fn note_hedge_won(&self) {
+        let mut s = self.inner.stats.get();
+        s.hedges_won += 1;
+        self.inner.stats.set(s);
+    }
+
+    /// Records a hedge whose response was superfluous and discarded.
+    pub fn note_duplicate_discarded(&self) {
+        let mut s = self.inner.stats.get();
+        s.duplicates_discarded += 1;
+        self.inner.stats.set(s);
+    }
 }
 
 #[cfg(test)]
@@ -290,6 +330,31 @@ mod tests {
         f.crash_node(NodeId(2));
         assert!(!f.node(NodeId(2)).is_alive());
         assert!(f.node(NodeId(1)).is_alive());
+    }
+
+    #[test]
+    fn hedge_counters_accumulate_and_merge_exhaustively() {
+        let sim = Sim::new(1);
+        let f = Fabric::new(&sim, FabricConfig::default(), 1);
+        f.note_hedge_fired();
+        f.note_hedge_fired();
+        f.note_hedge_won();
+        f.note_duplicate_discarded();
+        let s = f.stats();
+        assert_eq!(
+            (s.hedges_fired, s.hedges_won, s.duplicates_discarded),
+            (2, 1, 1)
+        );
+        // Every hedge either wins or is discarded.
+        assert_eq!(s.hedges_won + s.duplicates_discarded, s.hedges_fired);
+
+        // AddAssign (the shard aggregation path) carries the new counters.
+        let mut total = TrafficStats::default();
+        total += s;
+        total += s;
+        assert_eq!(total.hedges_fired, 4);
+        assert_eq!(total.hedges_won, 2);
+        assert_eq!(total.duplicates_discarded, 2);
     }
 
     #[test]

@@ -202,6 +202,28 @@ impl StoreBuilder {
         self
     }
 
+    /// Tail-latency hedging for every minted client (see
+    /// [`swarm_core::HedgeConfig`]). Off by default — with
+    /// `HedgeConfig::disabled()` (or this setter never called) no hedger is
+    /// minted, no extra timers are scheduled, no RNG is drawn, and all
+    /// existing executions replay bit-identically. Applies to the
+    /// [`Cluster`]-based protocols *and* FUSEE (which hedges its data reads
+    /// and block fan-out).
+    pub fn hedge(mut self, cfg: swarm_core::HedgeConfig) -> Self {
+        self.client.hedge = cfg;
+        self
+    }
+
+    /// Per-key adaptive protocol routing for every minted client (see
+    /// [`crate::AdaptiveConfig`]). Off by default — when disabled no
+    /// contention statistics are tracked and all existing executions replay
+    /// bit-identically. Only Safe-Guess clients route; the other protocols
+    /// ignore it.
+    pub fn adaptive(mut self, cfg: crate::AdaptiveConfig) -> Self {
+        self.client.adaptive = cfg;
+        self
+    }
+
     /// Replaces the whole cluster configuration (the escape hatch for knobs
     /// without a fluent setter, e.g. fabric latency or clock skew).
     pub fn cluster_config(mut self, cfg: ClusterConfig) -> Self {

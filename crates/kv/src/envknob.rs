@@ -136,6 +136,53 @@ fn parse_repair_buckets(raw: Option<&str>) -> Option<u32> {
     )
 }
 
+/// The hedge trigger knob: `SWARM_HEDGE_DELAY_PCT` sets which percentile of
+/// the per-destination RTT window arms a hedge (default 99). Warn-once
+/// convention, same as its siblings. Only consulted when a run opts into
+/// hedging ([`hedge_config`]); it cannot switch hedging on by itself.
+pub fn hedge_delay_pct() -> f64 {
+    parse_hedge_delay_pct(std::env::var("SWARM_HEDGE_DELAY_PCT").ok().as_deref())
+        .unwrap_or(swarm_core::HedgeConfig::on().delay_pct)
+}
+
+fn parse_hedge_delay_pct(raw: Option<&str>) -> Option<f64> {
+    parse_knob(
+        "SWARM_HEDGE_DELAY_PCT",
+        raw,
+        "a percentile in (0, 100] like 99",
+        |v: &f64| v.is_finite() && *v > 0.0 && *v <= 100.0,
+    )
+}
+
+/// The hedge budget knob: `SWARM_HEDGE_MAX_INFLIGHT` caps concurrent hedges
+/// per client (default 4). Warn-once convention, same as its siblings.
+pub fn hedge_max_inflight() -> usize {
+    parse_hedge_max_inflight(std::env::var("SWARM_HEDGE_MAX_INFLIGHT").ok().as_deref())
+        .unwrap_or(swarm_core::HedgeConfig::on().max_inflight)
+}
+
+fn parse_hedge_max_inflight(raw: Option<&str>) -> Option<usize> {
+    parse_knob(
+        "SWARM_HEDGE_MAX_INFLIGHT",
+        raw,
+        "a positive hedge budget like 4",
+        |v: &usize| *v >= 1,
+    )
+}
+
+/// [`swarm_core::HedgeConfig::on`] with the environment knobs applied — the
+/// config benches and the chaos suite use when a run opts into hedging.
+/// The knobs only tune an explicitly enabled config; they never enable
+/// hedging on a run that didn't ask for it, so default executions stay
+/// bit-identical regardless of the environment.
+pub fn hedge_config() -> swarm_core::HedgeConfig {
+    swarm_core::HedgeConfig {
+        delay_pct: hedge_delay_pct(),
+        max_inflight: hedge_max_inflight(),
+        ..swarm_core::HedgeConfig::on()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,6 +268,33 @@ mod tests {
         }
         assert!(WARNED.lock().unwrap().contains("SWARM_REPAIR_PERIOD_US"));
         assert!(WARNED.lock().unwrap().contains("SWARM_REPAIR_BUCKETS"));
+    }
+
+    #[test]
+    fn hedge_knobs_parse_and_reject_like_their_siblings() {
+        // Unset: HedgeConfig::on()'s defaults apply, no warning.
+        assert_eq!(parse_hedge_delay_pct(None), None);
+        assert_eq!(parse_hedge_max_inflight(None), None);
+        assert!(!WARNED.lock().unwrap().contains("SWARM_HEDGE_DELAY_PCT"));
+        assert!(!WARNED.lock().unwrap().contains("SWARM_HEDGE_MAX_INFLIGHT"));
+        // Valid values parse.
+        assert_eq!(parse_hedge_delay_pct(Some("95")), Some(95.0));
+        assert_eq!(parse_hedge_delay_pct(Some("99.9")), Some(99.9));
+        assert_eq!(parse_hedge_max_inflight(Some("8")), Some(8));
+        // Garbage and out-of-domain values are rejected, warn-once.
+        for bad in ["banana", "", "0", "-5", "101", "inf", "NaN"] {
+            assert_eq!(parse_hedge_delay_pct(Some(bad)), None, "{bad:?}");
+        }
+        for bad in ["banana", "", "0", "-5", "1.5"] {
+            assert_eq!(parse_hedge_max_inflight(Some(bad)), None, "{bad:?}");
+        }
+        assert!(WARNED.lock().unwrap().contains("SWARM_HEDGE_DELAY_PCT"));
+        assert!(WARNED.lock().unwrap().contains("SWARM_HEDGE_MAX_INFLIGHT"));
+        // The assembled config is HedgeConfig::on() plus the knobs: enabled,
+        // and never *dis*abled by the environment.
+        let cfg = hedge_config();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.window, swarm_core::HedgeConfig::on().window);
     }
 
     #[test]

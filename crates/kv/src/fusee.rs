@@ -25,9 +25,9 @@ use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-use swarm_core::Rounds;
-use swarm_fabric::{Endpoint, Fabric, FabricConfig, NodeId, Op};
-use swarm_sim::{join_all, FifoResource, Nanos, Sim, SimRng, NANOS_PER_MILLI};
+use swarm_core::{Hedger, Rounds};
+use swarm_fabric::{Endpoint, Fabric, FabricConfig, NodeId, Op, OpResult};
+use swarm_sim::{join_all, timeout_at, FifoResource, Nanos, Quorum, Sim, SimRng, NANOS_PER_MILLI};
 
 use crate::cache::LfuCache;
 use crate::client::{CacheCapacity, KvClientConfig};
@@ -256,6 +256,13 @@ pub struct FuseeKv {
     stale_gets: Cell<u64>,
     /// Gets served fully from the cached pointer.
     fresh_gets: Cell<u64>,
+    /// Tail-latency hedger (`None` by default — bit-identical to the
+    /// pre-hedging code). FUSEE hedges its latency-bearing data reads to the
+    /// backup replica (synchronous replication guarantees an identical copy)
+    /// and its block fan-out with same-replica duplicates; the pointer CAS
+    /// is never hedged (a duplicate CAS is not idempotent: its second copy
+    /// could observe and clobber a concurrent writer's pointer).
+    hedger: Option<Hedger>,
 }
 
 impl FuseeKv {
@@ -304,6 +311,11 @@ impl FuseeKv {
             op_deadline_ns: cfg.op_deadline_ns,
             stale_gets: Cell::new(0),
             fresh_gets: Cell::new(0),
+            hedger: Hedger::new(
+                cfg.hedge,
+                cluster.config().nodes,
+                Some(cluster.fabric().clone()),
+            ),
         })
     }
 
@@ -325,7 +337,85 @@ impl FuseeKv {
     /// newer update; `Err(Timeout)` if the node stopped answering.
     async fn read_block(&self, info: &FuseeKeyInfo, version: u64) -> KvResult<Option<Vec<u8>>> {
         self.rounds.bump();
-        self.read_block_quiet(info, version).await
+        match &self.hedger {
+            None => self.read_block_quiet(info, version).await,
+            Some(h) => self.read_block_hedged(&h.clone(), info, version).await,
+        }
+    }
+
+    /// Pushes the block read at replica `i` onto `q`, wrapping it to feed
+    /// the hedger's per-node RTT tracker.
+    fn push_block_read(
+        &self,
+        q: &mut Quorum<Option<Vec<u8>>>,
+        h: &Hedger,
+        info: &FuseeKeyInfo,
+        i: usize,
+        slot: u64,
+    ) {
+        let node = info.replica_nodes[i];
+        let addr = info.ring_base[i] + slot * self.block_len();
+        let fut = self.ep.submit(
+            node,
+            vec![Op::Read {
+                addr,
+                len: self.block_len() as usize,
+            }],
+        );
+        let h = h.clone();
+        let sim = self.cluster.sim().clone();
+        let t0 = sim.now();
+        q.push(async move {
+            let r = fut.await;
+            h.observe(node.0, sim.now() - t0);
+            r.and_then(|ops| ops.into_iter().next().and_then(OpResult::read))
+        });
+    }
+
+    /// [`FuseeKv::read_block_quiet`] with a hedge stage: if the primary's
+    /// tracked p99 elapses with no response, the same slot is read from the
+    /// backup replica — synchronous replication wrote the committed block to
+    /// *every* replica before the pointer CAS, and the embedded version
+    /// check rejects recycled slots, so either copy is authoritative.
+    async fn read_block_hedged(
+        &self,
+        h: &Hedger,
+        info: &FuseeKeyInfo,
+        version: u64,
+    ) -> KvResult<Option<Vec<u8>>> {
+        let slot = version % self.cluster.config().ring as u64;
+        let sim = self.cluster.sim().clone();
+        let t0 = sim.now();
+        let mut q: Quorum<Option<Vec<u8>>> = Quorum::new(1);
+        self.push_block_read(&mut q, h, info, 0, slot);
+        let mut hedge = None;
+        if info.replica_nodes.len() > 1 {
+            if let Some(d) = h.delay_for(std::iter::once(info.replica_nodes[0].0)) {
+                if timeout_at(&sim, t0 + d, &mut q).await.is_err() {
+                    if let Some(ticket) = h.try_fire() {
+                        hedge = Some(ticket);
+                        self.push_block_read(&mut q, h, info, 1, slot);
+                    }
+                }
+            }
+        }
+        (&mut q).await;
+        if let Some(t) = hedge {
+            t.settle(q.results()[1].is_some());
+        }
+        let bytes = q
+            .take_results()
+            .into_iter()
+            .flatten()
+            .next()
+            .expect("completed quorum has a result")
+            .ok_or(KvError::Timeout)?;
+        let v = u64::from_le_bytes(bytes[0..8].try_into().unwrap());
+        if v == version {
+            Ok(Some(bytes[8..].to_vec()))
+        } else {
+            Ok(None) // Block was recycled by a newer update.
+        }
     }
 
     /// A read whose latency overlaps another phase (the wasted optimistic
@@ -347,6 +437,51 @@ impl FuseeKv {
             Ok(Some(bytes[8..].to_vec()))
         } else {
             Ok(None) // Block was recycled by a newer update.
+        }
+    }
+
+    /// One replica's block write (update RTT 1) with a hedge stage: after
+    /// the node's tracked p99 with no ack, a duplicate of the same write
+    /// (same bytes, same address — idempotent) races the straggler; the
+    /// first ack wins.
+    async fn hedged_replica_write(
+        ep: Rc<Endpoint>,
+        sim: Sim,
+        h: Hedger,
+        node: NodeId,
+        addr: u64,
+        data: swarm_fabric::Payload,
+    ) {
+        let t0 = sim.now();
+        let mut q: Quorum<()> = Quorum::new(1);
+        let push = |q: &mut Quorum<()>, since: Nanos| {
+            let fut = ep.submit(
+                node,
+                vec![Op::Write {
+                    addr,
+                    data: Rc::clone(&data),
+                }],
+            );
+            let h = h.clone();
+            let sim = sim.clone();
+            q.push(async move {
+                fut.await;
+                h.observe(node.0, sim.now() - since);
+            });
+        };
+        push(&mut q, t0);
+        let mut hedge = None;
+        if let Some(d) = h.delay_for(std::iter::once(node.0)) {
+            if timeout_at(&sim, t0 + d, &mut q).await.is_err() {
+                if let Some(ticket) = h.try_fire() {
+                    hedge = Some(ticket);
+                    push(&mut q, sim.now());
+                }
+            }
+        }
+        (&mut q).await;
+        if let Some(t) = hedge {
+            t.settle(q.results()[1].is_some());
         }
     }
 
@@ -429,21 +564,43 @@ impl FuseeKv {
         // One block buffer, Rc-shared across the replica fan-out (the old
         // code deep-copied it once per replica).
         let block: swarm_fabric::Payload = block.into();
-        let writes: Vec<_> = info
-            .replica_nodes
-            .iter()
-            .enumerate()
-            .map(|(i, &n)| {
-                self.ep.submit(
-                    n,
-                    vec![Op::Write {
-                        addr: info.ring_base[i] + slot * self.block_len(),
-                        data: Rc::clone(&block),
-                    }],
-                )
-            })
-            .collect();
-        join_all(writes).await;
+        match &self.hedger {
+            None => {
+                let writes: Vec<_> = info
+                    .replica_nodes
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &n)| {
+                        self.ep.submit(
+                            n,
+                            vec![Op::Write {
+                                addr: info.ring_base[i] + slot * self.block_len(),
+                                data: Rc::clone(&block),
+                            }],
+                        )
+                    })
+                    .collect();
+                join_all(writes).await;
+            }
+            Some(h) => {
+                // Synchronous replication must ack *every* replica, so the
+                // hedge is per replica: a duplicate of the same write to the
+                // same address (idempotent), racing the straggling ack.
+                let h = h.clone();
+                let mut writes = Vec::with_capacity(info.replica_nodes.len());
+                for (i, &n) in info.replica_nodes.iter().enumerate() {
+                    writes.push(Self::hedged_replica_write(
+                        Rc::clone(&self.ep),
+                        self.cluster.sim().clone(),
+                        h.clone(),
+                        n,
+                        info.ring_base[i] + slot * self.block_len(),
+                        Rc::clone(&block),
+                    ));
+                }
+                join_all(writes).await;
+            }
+        }
 
         // RTT 2: CAS the primary pointer; a concurrent update forces a
         // retry (hot keys take 5 roundtrips, Table 2).
@@ -697,6 +854,29 @@ mod tests {
             assert_eq!((ok, full), (2, 2), "{results:?}");
         });
         assert_eq!(index_len(), 6, "index must not exceed its capacity");
+    }
+
+    #[test]
+    fn hedged_client_keeps_roundtrip_accounting() {
+        // Hedge duplicates ride inside existing phases: the pinned RTT
+        // counts (update = 4, fresh get = 1) must not move when hedging is
+        // enabled.
+        let (sim, cluster) = setup(5);
+        let cfg = KvClientConfig {
+            cache: CACHE,
+            hedge: swarm_core::HedgeConfig::on(),
+            ..Default::default()
+        };
+        let c = FuseeKv::with_config(&cluster, 0, cfg);
+        sim.block_on(async move {
+            c.get(1).await.unwrap(); // warm the cache
+            let r0 = c.rounds();
+            c.update(1, vec![9u8; 64]).await.unwrap();
+            assert_eq!(c.rounds() - r0, 4, "hedged update rtts");
+            let r0 = c.rounds();
+            assert_eq!(*c.get(1).await.unwrap().unwrap(), vec![9u8; 64]);
+            assert_eq!(c.rounds() - r0, 1, "hedged fresh get rtts");
+        });
     }
 
     #[test]

@@ -111,9 +111,12 @@ mod store;
 
 pub use builder::{Protocol, StoreBuilder, StoreClient, StoreCluster};
 pub use cache::LfuCache;
-pub use client::{CacheCapacity, KvClient, KvClientConfig, Proto};
+pub use client::{AdaptiveConfig, CacheCapacity, KvClient, KvClientConfig, Proto};
 pub use cluster::{Cluster, ClusterConfig, KeyInfo, LOADER_TID};
-pub use envknob::{env_knob, parse_knob, repair_buckets, repair_period_ns};
+pub use envknob::{
+    env_knob, hedge_config, hedge_delay_pct, hedge_max_inflight, parse_knob, repair_buckets,
+    repair_period_ns,
+};
 pub use fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 pub use index::{Index, InsertOutcome, INDEX_MSG_BYTES};
 pub use membership::Membership;
@@ -132,3 +135,4 @@ pub use reshard::{
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
 pub use shard::{ShardRouter, ShardSpec, ShardedCluster};
 pub use store::{KvError, KvResult, KvStore, KvStoreExt};
+pub use swarm_core::HedgeConfig;

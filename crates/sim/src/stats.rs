@@ -62,6 +62,34 @@ impl Histogram {
         self.percentile(50.0)
     }
 
+    /// The 99.9th percentile, in nanoseconds (tail-latency reporting).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histogram is empty.
+    pub fn p999(&mut self) -> Nanos {
+        self.percentile(99.9)
+    }
+
+    /// One-line machine-readable summary:
+    /// `{"count":N,"p50":..,"p90":..,"p99":..,"p999":..,"max":..}` (times in
+    /// nanoseconds). An empty histogram summarizes as `{"count":0}` so report
+    /// harnesses never have to special-case empty cells.
+    pub fn summary_json(&mut self) -> String {
+        if self.samples.is_empty() {
+            return r#"{"count":0}"#.to_string();
+        }
+        format!(
+            r#"{{"count":{},"p50":{},"p90":{},"p99":{},"p999":{},"max":{}}}"#,
+            self.len(),
+            self.percentile(50.0),
+            self.percentile(90.0),
+            self.percentile(99.0),
+            self.p999(),
+            self.max()
+        )
+    }
+
     /// Arithmetic mean, in nanoseconds.
     pub fn mean(&self) -> f64 {
         if self.samples.is_empty() {
@@ -313,6 +341,33 @@ mod tests {
         assert_eq!(buckets[0], (0, 2, 20.0));
         assert_eq!(buckets[1], (1_000, 1, 50.0));
         assert!((ts.throughput_ops_per_sec(0) - 2e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn p999_tracks_the_extreme_tail() {
+        let mut h = Histogram::new();
+        // 499 fast samples and one straggler: under the nearest-rank
+        // convention (rank = round(p/100 * (n-1)), shared with the fig5
+        // goldens) p99 stays fast while p999 lands on the straggler.
+        for _ in 0..499 {
+            h.record(10);
+        }
+        h.record(1_000_000);
+        assert_eq!(h.percentile(99.0), 10);
+        assert_eq!(h.p999(), 1_000_000);
+    }
+
+    #[test]
+    fn summary_json_is_stable_and_exact() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(
+            h.summary_json(),
+            r#"{"count":1000,"p50":501,"p90":900,"p99":990,"p999":999,"max":1000}"#
+        );
+        assert_eq!(Histogram::new().summary_json(), r#"{"count":0}"#);
     }
 
     #[test]

@@ -14,7 +14,8 @@ use std::rc::Rc;
 use swarm_core::KvHistory;
 use swarm_fabric::{FaultPlan, NodeId, TrafficStats};
 use swarm_kv::{
-    run_workload, HistoryRecorder, KvStore, Protocol, RunConfig, StoreBuilder, StoreCluster,
+    run_workload, HedgeConfig, HistoryRecorder, KvStore, Protocol, RunConfig, StoreBuilder,
+    StoreCluster,
 };
 use swarm_sim::{Sim, NANOS_PER_MICRO, NANOS_PER_MILLI};
 use swarm_workload::{Workload, WorkloadSpec, Zipfian};
@@ -96,15 +97,28 @@ impl PlanKind {
     }
 }
 
-fn build(proto: Protocol, sim: &Sim) -> StoreCluster {
-    let cluster = StoreBuilder::new(proto)
+/// The hedge config for chaos runs: `min_samples` drops to 2 so the
+/// per-node RTT trackers form estimates — and hedges actually arm — within
+/// a 72-op run; everything else stays at the production defaults.
+fn chaos_hedge() -> HedgeConfig {
+    HedgeConfig {
+        min_samples: 2,
+        ..HedgeConfig::on()
+    }
+}
+
+fn build(proto: Protocol, sim: &Sim, hedge: Option<HedgeConfig>) -> StoreCluster {
+    let mut b = StoreBuilder::new(proto)
         .value_size(VALUE_SIZE)
         .max_clients(CLIENTS + 1)
         // Chaos plans can make quorums unreachable (e.g. RAW's single
         // replica crashing); the deadline keeps every worker live and turns
         // the lost op into an *ambiguous* history entry.
-        .op_deadline_ns(2 * NANOS_PER_MILLI)
-        .build_cluster(sim);
+        .op_deadline_ns(2 * NANOS_PER_MILLI);
+    if let Some(cfg) = hedge {
+        b = b.hedge(cfg);
+    }
+    let cluster = b.build_cluster(sim);
     cluster.load_keys(KEYS, |k| tagged(INITIAL_TAG_BASE + k));
     cluster
 }
@@ -113,8 +127,19 @@ fn build(proto: Protocol, sim: &Sim) -> StoreCluster {
 /// stream at a small keyspace while the fault plan plays out; returns the
 /// recorded history and the fabric traffic counters.
 fn run_chaos(proto: Protocol, kind: PlanKind, seed: u64) -> (KvHistory, TrafficStats, FaultPlan) {
+    run_chaos_with(proto, kind, seed, None)
+}
+
+/// [`run_chaos`] with an explicit hedge configuration (`None` = the knob
+/// is never touched, the pre-hedging build path).
+fn run_chaos_with(
+    proto: Protocol,
+    kind: PlanKind,
+    seed: u64,
+    hedge: Option<HedgeConfig>,
+) -> (KvHistory, TrafficStats, FaultPlan) {
     let sim = Sim::new(seed);
-    let cluster = build(proto, &sim);
+    let cluster = build(proto, &sim, hedge);
     let rec = HistoryRecorder::new(&sim);
     for k in 0..KEYS {
         rec.set_initial(k, &tagged(INITIAL_TAG_BASE + k));
@@ -251,6 +276,91 @@ fn same_seed_reproduces_bit_identical_histories_and_traffic() {
         assert_eq!(s1, s2, "{}: traffic diverged across reruns", proto.name());
         let (h3, _, _) = run_chaos(proto, PlanKind::Random, 8);
         assert_ne!(h1, h3, "{}: seed is not feeding the run", proto.name());
+    }
+}
+
+/// The hedged sweep: all four protocols with hedging armed aggressively
+/// (`min_samples = 2`) under every fault plan × 4 seeds. Every surviving
+/// history must still linearize — which also proves duplicate delivery
+/// never double-applies, since a double-applied update or a resurrected
+/// delete would surface as a read observing an impossible value — and the
+/// hedge budget must balance exactly: `fired == won + discarded`, even
+/// when op deadlines cancel hedged ops mid-flight (the `HedgeTicket`
+/// drop-settles).
+#[test]
+fn hedged_runs_stay_linearizable_under_every_fault_plan() {
+    let seeds: Vec<u64> = (0..4u64).map(|i| 0xC4A0_6000 + i * 7919).collect();
+    let mut cells = Vec::new();
+    for proto in Protocol::all() {
+        for kind in PlanKind::all() {
+            for &seed in &seeds {
+                cells.push((proto, kind, seed));
+            }
+        }
+    }
+    let results = swarm_bench::sweep(&cells, |&(proto, kind, seed)| {
+        run_chaos_with(proto, kind, seed, Some(chaos_hedge()))
+    });
+    let mut fired_total = 0u64;
+    for ((proto, kind, seed), (h, stats, plan)) in cells.iter().zip(results) {
+        assert_eq!(
+            h.len() as u64,
+            CLIENTS as u64 * OPS_PER_CLIENT,
+            "{} / {kind:?} / seed {seed}: ops lost from the hedged history",
+            proto.name()
+        );
+        assert_eq!(
+            stats.hedges_fired,
+            stats.hedges_won + stats.duplicates_discarded,
+            "{} / {kind:?} / seed {seed}: hedge budget leaked \
+             (fired != won + discarded)",
+            proto.name()
+        );
+        fired_total += stats.hedges_fired;
+        if let Err(e) = h.check() {
+            panic!(
+                "{} hedged is NOT linearizable under {kind:?}, seed {seed}: {e}\n\
+                 ({} of {} ops completed unambiguously)\nfault plan:\n{}",
+                proto.name(),
+                h.definite_ops(),
+                h.len(),
+                plan,
+            );
+        }
+    }
+    // 4 protocols x 5 plans x 4 seeds, and the sweep must actually hedge.
+    assert!(cells.len() >= 80, "sweep shrank: {} cells", cells.len());
+    assert!(
+        fired_total > 0,
+        "no hedge ever fired across the hedged sweep"
+    );
+}
+
+/// Bit-parity of the off switch and reproducibility of the on switch:
+/// building with `HedgeConfig::disabled()` is byte-identical (history,
+/// traffic counters, fault plan) to never touching the hedge knob at all,
+/// and hedged runs reproduce bit-for-bit under the same seed.
+#[test]
+fn disabled_hedging_is_bit_identical_and_hedged_runs_reproduce() {
+    for proto in Protocol::all() {
+        for kind in [PlanKind::JitterAndDrop, PlanKind::Random] {
+            let base = run_chaos_with(proto, kind, 11, None);
+            let off = run_chaos_with(proto, kind, 11, Some(HedgeConfig::disabled()));
+            assert_eq!(
+                base,
+                off,
+                "{} / {kind:?}: HedgeConfig::disabled() perturbed the run",
+                proto.name()
+            );
+            let on1 = run_chaos_with(proto, kind, 11, Some(chaos_hedge()));
+            let on2 = run_chaos_with(proto, kind, 11, Some(chaos_hedge()));
+            assert_eq!(
+                on1,
+                on2,
+                "{} / {kind:?}: hedged run diverged across reruns",
+                proto.name()
+            );
+        }
     }
 }
 

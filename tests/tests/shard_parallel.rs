@@ -250,3 +250,68 @@ fn parity_holds_under_per_shard_fault_plans() {
         }
     }
 }
+
+/// Hedged runs keep the full parity contract: with hedging armed
+/// aggressively (`min_samples = 2`) and a delay-spike plan making hedges
+/// actually fire, threaded ≡ sequential ≡ single-Sim byte for byte, the
+/// merged traffic reports a balanced hedge budget, and every per-shard
+/// history still linearizes.
+#[test]
+fn hedged_runs_are_bit_identical_across_all_shard_modes() {
+    let run_hedged = |seed: u64, mode: ShardMode| {
+        let b = builder().hedge(swarm_kv::HedgeConfig {
+            min_samples: 2,
+            ..swarm_kv::HedgeConfig::on()
+        });
+        let wl = workload();
+        let cfg = RunConfig {
+            warmup_ops: 60,
+            measure_ops: 300,
+            ..Default::default()
+        };
+        let plan = plan_workload(seed, ShardSpec::new(SHARDS), &wl, &cfg, ROUTERS);
+        let opts = ShardRunOptions {
+            preload_keys: Some(N_KEYS),
+            faults: vec![(
+                1usize,
+                FaultPlan::new().delay_spike(
+                    40 * NANOS_PER_MICRO,
+                    NodeId(1),
+                    15 * NANOS_PER_MICRO,
+                    400 * NANOS_PER_MICRO,
+                ),
+            )],
+            record_history: true,
+            collect_results: true,
+            watch_until_ns: Some(5 * NANOS_PER_MILLI),
+            ..Default::default()
+        };
+        run_sharded_plan(&b, seed, &plan, &wl, &opts, mode)
+    };
+    for seed in [71u64, 72] {
+        let sequential = run_hedged(seed, ShardMode::Sequential);
+        let threaded = run_hedged(seed, ShardMode::Threads(2));
+        let shared = run_hedged(seed, ShardMode::SingleSim);
+        assert_runs_identical(
+            &sequential,
+            &threaded,
+            &format!("seed {seed}, hedged threads"),
+        );
+        assert_runs_identical(
+            &sequential,
+            &shared,
+            &format!("seed {seed}, hedged single-sim"),
+        );
+        let total = sequential.total_traffic();
+        assert_eq!(
+            total.hedges_fired,
+            total.hedges_won + total.duplicates_discarded,
+            "seed {seed}: hedge budget leaked across shards"
+        );
+        for (s, h) in sequential.histories().into_iter().enumerate() {
+            h.check().unwrap_or_else(|e| {
+                panic!("seed {seed}: hedged shard {s} does not linearize: {e}")
+            });
+        }
+    }
+}
