@@ -124,6 +124,29 @@ perf_stage bench_repair 60 env SWARM_BENCH_THREADS=3 "$BIN_DIR/bench_repair"
 # median regression, and that the hedge budget balances — so this stage
 # failing means the tail optimization regressed, not just a slow host.
 perf_stage tail-smoke 120 env SWARM_BENCH_THREADS=2 "$BIN_DIR/bench_tail"
+# Scenario smoke: the YCSB A-F x {static, flash-crowd} x 2-protocol (+ TTL
+# churn + bimodal values) scenario sweep at smoke volume, run twice with
+# different thread knobs. The binary validates every report's JSON before
+# it touches disk (swarm_bench::validate_json); this stage additionally
+# asserts the report files exist, are non-empty, and are byte-identical
+# across the two runs — the determinism contract of docs/SCENARIOS.md.
+perf_stage scenario-smoke 120 sh -c '
+    set -eu
+    rm -rf target/reports target/reports.first
+    SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=2 "$0/bench_scenarios" \
+        > target/scenario_smoke_a.out
+    mv target/reports target/reports.first
+    SWARM_BENCH_OPS_SCALE=0.05 SWARM_BENCH_THREADS=1 SWARM_SHARD_THREADS=2 \
+        "$0/bench_scenarios" > target/scenario_smoke_b.out
+    diff target/scenario_smoke_a.out target/scenario_smoke_b.out
+    diff -r target/reports.first target/reports
+    [ "$(ls target/reports/*.json | wc -l)" -ge 14 ]
+    for f in target/reports/ycsb_a_static target/reports/ycsb_e_flash \
+             target/reports/ttl_churn target/reports/bigval; do
+        [ -s "$f.json" ] && [ -s "$f.html" ]
+    done
+    rm -rf target/reports.first
+' "$BIN_DIR"
 
 echo
 echo "CI OK"

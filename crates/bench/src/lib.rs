@@ -20,7 +20,11 @@
 //! scaling of the pipelined `KvStoreExt` multi-ops, and `bench_shards`
 //! sweeps the sharded keyspace (1→16 shards × {uniform, Zipfian .99}),
 //! reporting aggregate-throughput weak scaling and per-shard load
-//! imbalance.
+//! imbalance. `bench_scenarios` drives the time-phased scenario engine
+//! (`swarm_workload::ScenarioSpec`) — YCSB A–F including scans, flash-crowd
+//! skew rotation, TTL churn, and bimodal value sizes — and renders a
+//! JSON + HTML [`Report`] per scenario under `target/reports/` (see
+//! `docs/SCENARIOS.md` for the cookbook).
 //!
 //! Binaries accept `--full` for paper-scale op counts (default is a quick
 //! mode sized to finish in seconds each) and print the same rows/series the
@@ -37,8 +41,12 @@
 //! Every system under test is built through [`swarm_kv::StoreBuilder`], so
 //! the four protocols share one construction and measurement path.
 
+#![warn(missing_docs)]
+
+mod report;
 mod sweep;
 
+pub use report::{json_escape, validate_json, Report};
 pub use sweep::{cap_thread_product, composed_threads, sweep, sweep_on, sweep_threads};
 
 use std::io::Write as _;

@@ -197,6 +197,27 @@ impl KvHistory {
         });
     }
 
+    /// Records a TTL lease expiry at instant `at`: the key became absent
+    /// when virtual time passed its lease, with no explicit delete op in
+    /// the history to witness it.
+    ///
+    /// Expiry is a *legal linearization point*, modeled as an **ambiguous
+    /// delete** invoked at `at`:
+    ///
+    /// * Operations that completed before `at` precede it, so a pre-expiry
+    ///   read still observing the value linearizes before the expiry.
+    /// * Being ambiguous, the delete may take effect at any legal later
+    ///   point — wherever the first post-expiry `None` read needs it — or
+    ///   be **discarded** entirely, which is exactly right when a
+    ///   subsequent write "resurrected" the key before anyone observed the
+    ///   expiry.
+    ///
+    /// No checker search changes back this: `Delete` is already legal in
+    /// any state and ambiguous ops are already apply-or-discard.
+    pub fn expire(&mut self, key: u64, at: u64) {
+        self.push_ambiguous(key, at, KvOpKind::Delete);
+    }
+
     /// Number of operations recorded.
     pub fn len(&self) -> usize {
         self.ops.len()
@@ -603,6 +624,53 @@ mod tests {
         bad.push(1, 5, 6, KvOpKind::Get(Some(11)));
         bad.push(1, 7, 8, KvOpKind::Get(Some(10)));
         assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn ttl_expiry_is_a_legal_linearization_point() {
+        // A leased insert, a pre-expiry read of the value, the expiry event
+        // at t=100, then a post-expiry read of absence: all four linearize
+        // as insert → get(Some) → expiry-delete → get(None).
+        let mut h = KvHistory::new();
+        h.push(5, 0, 1, KvOpKind::Insert(9));
+        h.push(5, 10, 11, KvOpKind::Get(Some(9)));
+        h.expire(5, 100);
+        h.push(5, 200, 201, KvOpKind::Get(None));
+        assert!(h.is_linearizable());
+
+        // Resurrection: a write after expiry makes the key live again —
+        // the expiry delete linearizes between the reads (or before the
+        // update; both are legal).
+        let mut h2 = KvHistory::new();
+        h2.push(5, 0, 1, KvOpKind::Insert(9));
+        h2.expire(5, 100);
+        h2.push(5, 200, 201, KvOpKind::Get(None));
+        h2.push(5, 300, 301, KvOpKind::Update(10));
+        h2.push(5, 400, 401, KvOpKind::Get(Some(10)));
+        assert!(h2.is_linearizable());
+
+        // The expiry cannot excuse a *wrong value*: a read observing a tag
+        // nobody wrote stays non-linearizable.
+        let mut bad = KvHistory::new();
+        bad.push(5, 0, 1, KvOpKind::Insert(9));
+        bad.expire(5, 100);
+        bad.push(5, 200, 201, KvOpKind::Get(Some(42)));
+        assert!(!bad.is_linearizable());
+    }
+
+    #[test]
+    fn expiry_must_follow_ops_completed_before_it() {
+        // An op that completed before the expiry instant precedes the
+        // expiry delete: absence cannot be observed before the lease ran
+        // out and then "un-expire".
+        let mut h = KvHistory::new();
+        h.push(5, 0, 1, KvOpKind::Insert(9));
+        // Read of absence completed at t=11, long before the expiry at
+        // t=100 — with no other delete in the history this cannot
+        // linearize (the expiry delete is constrained to come after it).
+        h.push(5, 10, 11, KvOpKind::Get(None));
+        h.expire(5, 100);
+        assert!(!h.is_linearizable());
     }
 
     #[test]

@@ -19,7 +19,7 @@ use crate::fusee::{FuseeCluster, FuseeConfig, FuseeKv};
 use crate::membership::Membership;
 use crate::repair::{RepairConfig, RepairHandle};
 use crate::shard::{ShardSpec, ShardedCluster};
-use crate::store::{KvResult, KvStore};
+use crate::store::{KvResult, KvStore, ScanItems};
 use crate::CacheCapacity;
 
 /// The four systems of the paper's evaluation (§7).
@@ -581,6 +581,13 @@ impl KvStore for StoreClient {
         match self {
             StoreClient::Swarm(c) => c.delete(key).await,
             StoreClient::Fusee(c) => c.delete(key).await,
+        }
+    }
+
+    async fn scan(&self, start: u64, limit: usize) -> KvResult<ScanItems> {
+        match self {
+            StoreClient::Swarm(c) => c.scan(start, limit).await,
+            StoreClient::Fusee(c) => c.scan(start, limit).await,
         }
     }
 

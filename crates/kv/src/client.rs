@@ -24,7 +24,7 @@ use swarm_sim::{join2, FifoResource, GuessClock, Nanos, SimRng};
 use crate::cache::LfuCache;
 use crate::cluster::{derive_label, Cluster, KeyInfo, ROLE_CACHE, ROLE_CLOCK};
 use crate::index::InsertOutcome;
-use crate::store::{with_deadline, KvError, KvResult, KvStore};
+use crate::store::{with_deadline, KvError, KvResult, KvStore, KvStoreExt, ScanItems};
 
 /// Replication protocol driven by a [`KvClient`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -712,6 +712,28 @@ impl KvStore for KvClient {
             self.op_deadline_ns,
             self.delete_inner(key),
         )
+        .await
+    }
+
+    /// Ordered range read: one index roundtrip enumerates up to `limit`
+    /// live keys `>= start`, then their values are fetched as one pipelined
+    /// [`KvStoreExt::multi_get`] batch (so N cached keys cost roughly one
+    /// quorum roundtrip, not N). Keys that vanish or fault mid-scan are
+    /// dropped — a scan is best-effort per key, not a snapshot.
+    async fn scan(&self, start: u64, limit: usize) -> KvResult<ScanItems> {
+        with_deadline(self.cluster.sim(), self.op_deadline_ns, async move {
+            self.rounds.bump();
+            let keys = self.cluster.index().range_keys(start, limit).await;
+            let values = self.multi_get(&keys).await;
+            Ok(keys
+                .into_iter()
+                .zip(values)
+                .filter_map(|(k, v)| match v {
+                    Ok(Some(v)) => Some((k, v)),
+                    _ => None,
+                })
+                .collect())
+        })
         .await
     }
 

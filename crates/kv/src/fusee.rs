@@ -33,7 +33,7 @@ use crate::cache::LfuCache;
 use crate::client::{CacheCapacity, KvClientConfig};
 use crate::cluster::{derive_label, ROLE_CACHE, ROLE_FABRIC, ROLE_INDEX};
 use crate::index::Index;
-use crate::store::{with_deadline, KvError, KvResult, KvStore};
+use crate::store::{with_deadline, KvError, KvResult, KvStore, KvStoreExt, ScanItems};
 
 /// FUSEE model parameters.
 #[derive(Debug, Clone)]
@@ -722,6 +722,26 @@ impl KvStore for FuseeKv {
             self.op_deadline_ns,
             self.delete_inner(key),
         )
+        .await
+    }
+
+    /// Ordered range read over FUSEE's index: one roundtrip enumerates the
+    /// keys, then values come back as a pipelined multi-get batch. Same
+    /// best-effort-per-key semantics as the SWARM client's scan.
+    async fn scan(&self, start: u64, limit: usize) -> KvResult<ScanItems> {
+        with_deadline(self.cluster.sim(), self.op_deadline_ns, async move {
+            self.rounds.bump();
+            let keys = self.cluster.inner.index.range_keys(start, limit).await;
+            let values = self.multi_get(&keys).await;
+            Ok(keys
+                .into_iter()
+                .zip(values)
+                .filter_map(|(k, v)| match v {
+                    Ok(Some(v)) => Some((k, v)),
+                    _ => None,
+                })
+                .collect())
+        })
         .await
     }
 

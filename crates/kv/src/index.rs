@@ -179,6 +179,31 @@ impl<L: Clone + 'static> Index<L> {
         }
     }
 
+    /// Ordered range lookup: up to `limit` live keys `>= start`, ascending,
+    /// in one roundtrip (1 RTT). This is the index-side half of a scan
+    /// (YCSB E): the index server walks its mapping in key order and
+    /// returns the matching keys; the client then fetches the values
+    /// through its normal read path. Each returned key adds its wire cost
+    /// to the traffic counters on top of the base request size.
+    pub async fn range_keys(&self, start: u64, limit: usize) -> Vec<u64> {
+        self.roundtrip().await;
+        let mut keys: Vec<u64> = self
+            .inner
+            .map
+            .borrow()
+            .keys()
+            .copied()
+            .filter(|&k| k >= start)
+            .collect();
+        keys.sort_unstable();
+        keys.truncate(limit);
+        // 8 bytes per returned key on the reply wire.
+        self.inner
+            .bytes
+            .set(self.inner.bytes.get() + 8 * keys.len() as u64);
+        keys
+    }
+
     /// Control-plane bulk insert: no network cost (used by experiment
     /// loaders, which the paper does not measure).
     pub fn load(&self, key: u64, loc: L) {

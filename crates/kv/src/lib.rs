@@ -93,6 +93,8 @@
 //! simulation as a cross-check — with bit-identical per-shard outcomes in
 //! every mode (see `parallel.rs`'s module docs for the argument).
 
+#![warn(missing_docs)]
+
 mod builder;
 mod cache;
 mod client;
@@ -106,8 +108,10 @@ mod recorder;
 mod repair;
 mod reshard;
 mod runner;
+mod scenario_run;
 mod shard;
 mod store;
+mod ttl;
 
 pub use builder::{Protocol, StoreBuilder, StoreClient, StoreCluster};
 pub use cache::LfuCache;
@@ -133,6 +137,8 @@ pub use reshard::{
     ShardMap,
 };
 pub use runner::{ops_scale, run_workload, RunConfig, RunStats};
+pub use scenario_run::{run_scenario, ScenarioRunConfig, ScenarioStats};
 pub use shard::{ShardRouter, ShardSpec, ShardedCluster};
-pub use store::{KvError, KvResult, KvStore, KvStoreExt};
+pub use store::{KvError, KvResult, KvStore, KvStoreExt, ScanItems};
 pub use swarm_core::HedgeConfig;
+pub use ttl::{ttl_stamp, ttl_stamp_never, TtlStore, TTL_NEVER};

@@ -18,9 +18,9 @@ use std::rc::Rc;
 
 use swarm_core::{xxh64, KvHistory, KvOpKind};
 use swarm_fabric::Endpoint;
-use swarm_sim::Sim;
+use swarm_sim::{Nanos, Sim};
 
-use crate::store::{KvError, KvResult, KvStore};
+use crate::store::{KvError, KvResult, KvStore, ScanItems};
 
 /// Derives the checker's `u64` value tag from stored bytes: the first 8
 /// bytes little-endian (values of 8+ bytes with distinct prefixes — e.g.
@@ -92,6 +92,15 @@ impl HistoryRecorder {
     /// Takes the recorded history, leaving the recorder empty.
     pub fn take_history(&self) -> KvHistory {
         self.inner.history.replace(KvHistory::new())
+    }
+
+    /// Records a TTL lease expiry at virtual instant `at` (see
+    /// [`KvHistory::expire`](swarm_core::KvHistory::expire)): an ambiguous
+    /// delete the checker may linearize anywhere legal after the operations
+    /// that completed before `at`, or discard. Feed it the pairs drained
+    /// from `TtlStore::take_expired` before checking.
+    pub fn note_expiry(&self, key: u64, at: u64) {
+        self.inner.history.borrow_mut().expire(key, at);
     }
 
     fn record(&self, key: u64, invoke: u64, outcome: Outcome) {
@@ -181,6 +190,38 @@ impl<S: KvStore> KvStore for RecordingStore<S> {
         let r = self.store.delete(key).await;
         self.rec
             .record(key, invoke, mutation_outcome(&r, KvOpKind::Delete));
+        r
+    }
+
+    /// Records each `(key, value)` a scan returned as its own overlapping
+    /// `Get(Some(tag))` spanning the whole scan. Keys the scan *omitted*
+    /// are not recorded as absent: a shard-fanout scan cannot distinguish
+    /// "never existed" from "vanished mid-flight", so only positive
+    /// observations are claimed (conservative, still catches stale values).
+    async fn scan(&self, start: u64, limit: usize) -> KvResult<ScanItems> {
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.scan(start, limit).await;
+        if let Ok(items) = &r {
+            for (key, value) in items {
+                self.rec.record(
+                    *key,
+                    invoke,
+                    Outcome::Definite(KvOpKind::Get(Some(value_tag(value)))),
+                );
+            }
+        }
+        r
+    }
+
+    /// Records a leased insert exactly like a plain insert (the tag is the
+    /// unstamped payload's) and forwards the lease. The matching expiry
+    /// event is pushed separately via [`HistoryRecorder::note_expiry`].
+    async fn insert_ttl(&self, key: u64, value: Vec<u8>, ttl_ns: Option<Nanos>) -> KvResult<()> {
+        let tag = value_tag(&value);
+        let invoke = self.rec.inner.sim.now();
+        let r = self.store.insert_ttl(key, value, ttl_ns).await;
+        self.rec
+            .record(key, invoke, mutation_outcome(&r, KvOpKind::Insert(tag)));
         r
     }
 

@@ -41,7 +41,7 @@ use swarm_sim::{join_boxed, BoxFuture, FifoResource, Sim};
 use crate::builder::{Protocol, StoreClient, StoreCluster};
 use crate::cluster::derive_label;
 use crate::reshard::ShardMap;
-use crate::store::{KvError, KvResult, KvStore, KvStoreExt};
+use crate::store::{KvError, KvResult, KvStore, KvStoreExt, ScanItems};
 
 /// Base label the per-shard RNG streams are derived from (see
 /// `ClusterConfig::rng_label`).
@@ -448,6 +448,32 @@ impl KvStore for ShardRouter {
     async fn delete(&self, key: u64) -> KvResult<()> {
         self.bounded_wrong_shard(key, |c| async move { c.delete(key).await })
             .await
+    }
+
+    /// Shard-fanout range read: every shard owns a hash-scattered slice of
+    /// the keyspace, so a range `[start, start+limit)` can live anywhere —
+    /// the router scans *all* shards concurrently (each shard's index walk
+    /// is ordered), merges the per-shard results by key, and truncates to
+    /// `limit`. Per-shard errors propagate; routing counters tick once per
+    /// shard scanned.
+    async fn scan(&self, start: u64, limit: usize) -> KvResult<ScanItems> {
+        let futs: Vec<BoxFuture<'_, KvResult<ScanItems>>> = self
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(s, client)| {
+                self.routed[s].set(self.routed[s].get() + 1);
+                let client = Rc::clone(client);
+                Box::pin(async move { client.scan(start, limit).await }) as BoxFuture<'_, _>
+            })
+            .collect();
+        let mut merged = Vec::new();
+        for shard_result in join_boxed(futs).await {
+            merged.extend(shard_result?);
+        }
+        merged.sort_unstable_by_key(|&(k, _)| k);
+        merged.truncate(limit);
+        Ok(merged)
     }
 
     fn rounds(&self) -> u64 {

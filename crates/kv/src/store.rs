@@ -61,6 +61,9 @@ impl std::error::Error for KvError {}
 /// Result of a store operation.
 pub type KvResult<T> = Result<T, KvError>;
 
+/// What a [`KvStore::scan`] returns: `(key, value)` pairs ascending by key.
+pub type ScanItems = Vec<(u64, Rc<Vec<u8>>)>;
+
 /// Runs `fut` under an optional per-operation deadline: on expiry the
 /// operation is abandoned — already-submitted messages still take effect,
 /// like a client crash mid-operation (§7.7) — and [`KvError::Timeout`] is
@@ -103,6 +106,31 @@ pub trait KvStore {
 
     /// Deletes a key. Errors with [`KvError::NotFound`] if it was absent.
     fn delete(&self, key: u64) -> impl Future<Output = KvResult<()>> + '_;
+
+    /// Ordered range read (YCSB E): up to `limit` live `(key, value)` pairs
+    /// with `key >= start`, ascending by key. Best-effort per key: a key
+    /// that disappears between the index walk and the value fetch is simply
+    /// absent from the result (a scan is not a snapshot). The default
+    /// implementation panics — index-backed clients override it; raw
+    /// replica handles have no key enumeration to scan.
+    fn scan(&self, start: u64, limit: usize) -> impl Future<Output = KvResult<ScanItems>> + '_ {
+        let _ = (start, limit);
+        async move { panic!("scan is not supported by this store") }
+    }
+
+    /// Inserts a key with an optional TTL lease: after `ttl_ns` virtual
+    /// nanoseconds the key reads as absent (`Ok(None)`). The default
+    /// implementation drops the lease and performs a plain insert — only
+    /// lease-aware wrappers (see `crate::TtlStore`) honor it.
+    fn insert_ttl(
+        &self,
+        key: u64,
+        value: Vec<u8>,
+        ttl_ns: Option<Nanos>,
+    ) -> impl Future<Output = KvResult<()>> + '_ {
+        let _ = ttl_ns;
+        self.insert(key, value)
+    }
 
     /// Cumulative foreground roundtrips performed by this client (the
     /// runner differences this around sequential ops for Table 2).

@@ -6,9 +6,23 @@
 //! (the one YCSB itself uses), with a multiplicative hash scramble so that
 //! popular keys are spread across the key space rather than clustered at
 //! small ids.
+//!
+//! Beyond the static [`Workload`] mixes, the [`scenario`](ScenarioSpec)
+//! layer adds time-phased specs: per-phase op mixes covering the full YCSB
+//! A–F family (scans and read-modify-writes included), per-phase Zipfian
+//! theta, hot-set rotation for flash crowds, value-size distributions, and
+//! TTL/expiry traffic. Scenario op streams are pure in `(seed, spec)` —
+//! see `docs/SCENARIOS.md` for the cookbook.
 
+#![warn(missing_docs)]
+
+mod scenario;
 mod spec;
 mod zipfian;
 
+pub use scenario::{
+    scenario_value, Phase, ScenarioMix, ScenarioOp, ScenarioOpClass, ScenarioSpec, ScenarioStream,
+    TtlSpec, ValueSizeDist,
+};
 pub use spec::{OpType, Workload, WorkloadSpec};
 pub use zipfian::Zipfian;

@@ -53,6 +53,16 @@ impl WorkloadSpec {
         delete_pct: 0,
     };
 
+    /// YCSB workload D (read latest): 95% gets, 5% inserts. The "latest"
+    /// aspect lives in the key distribution the caller pairs it with; the
+    /// mix itself is what distinguishes D from B.
+    pub const D: WorkloadSpec = WorkloadSpec {
+        get_pct: 95,
+        update_pct: 0,
+        insert_pct: 5,
+        delete_pct: 0,
+    };
+
     /// Picks an [`OpType`] from a uniform draw in `[0, 100)`.
     ///
     /// # Panics

@@ -66,6 +66,19 @@ impl Zipfian {
 
     /// Draws one key in `0..n` from a uniform sample `u ∈ [0, 1)`.
     pub fn sample(&self, u: f64) -> u64 {
+        let rank = self.sample_rank(u);
+        if self.scramble {
+            // Fibonacci-hash scramble, bijective over 0..n via re-ranking.
+            scramble64(rank) % self.n
+        } else {
+            rank
+        }
+    }
+
+    /// Draws the popularity *rank* (0 = hottest) in `0..n` from a uniform
+    /// sample `u ∈ [0, 1)`, before any scramble. The scenario engine uses
+    /// this to rotate hot sets: offset the rank, then scramble.
+    pub fn sample_rank(&self, u: f64) -> u64 {
         let uz = u * self.zetan;
         let rank = if uz < 1.0 {
             0
@@ -74,13 +87,7 @@ impl Zipfian {
         } else {
             (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64
         };
-        let rank = rank.min(self.n - 1);
-        if self.scramble {
-            // Fibonacci-hash scramble, bijective over 0..n via re-ranking.
-            scramble64(rank) % self.n
-        } else {
-            rank
-        }
+        rank.min(self.n - 1)
     }
 
     /// Probability of the most popular (rank-0) item.
@@ -94,7 +101,7 @@ impl Zipfian {
     }
 }
 
-fn scramble64(x: u64) -> u64 {
+pub(crate) fn scramble64(x: u64) -> u64 {
     // splitmix64 finalizer: bijective on u64, excellent diffusion.
     let mut z = x.wrapping_add(0x9E3779B97F4A7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);

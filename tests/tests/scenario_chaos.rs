@@ -1,0 +1,216 @@
+//! Scenario-engine chaos suite: scan-heavy and TTL-churn scenario streams
+//! driven through the history recorder while seeded fault plans play out,
+//! every surviving history checked for linearizability — including the two
+//! op shapes the base chaos suite never exercises:
+//!
+//! * **scans** (YCSB E): each returned `(key, value)` pair is recorded as
+//!   an overlapping read observation, so a scan that stitches together a
+//!   torn cross-shard view would fail the checker;
+//! * **TTL expiry**: leases granted mid-run expire mid-run, and each
+//!   expiry is replayed into the history as an ambiguous delete at the
+//!   expiry instant (`KvHistory::expire`) — the checker then proves that a
+//!   pre-expiry `Some` and a post-expiry `None` of the same key are both
+//!   legal observations of one flexible event.
+//!
+//! Cells are pinned `(protocol, fault plan, seed)` triples (the base
+//! suite's reproducibility convention, see `TESTING.md`); replaying one is
+//! a matter of calling `run_cell` with the printed triple. The sweep runs
+//! on the tombstone-backed protocols (SWARM and DM-ABD), matching the base
+//! suite's insert/delete gating; the fault-free scan-equivalence property
+//! in `scenario_props.rs` covers all four protocols.
+
+use std::rc::Rc;
+
+use swarm_core::KvHistory;
+use swarm_fabric::{FaultPlan, NodeId};
+use swarm_kv::{
+    run_scenario, ttl_stamp_never, HistoryRecorder, Protocol, ScenarioRunConfig, StoreBuilder,
+};
+use swarm_sim::{Sim, NANOS_PER_MICRO, NANOS_PER_MILLI};
+use swarm_workload::{Phase, ScenarioMix, ScenarioOpClass, ScenarioSpec, TtlSpec};
+
+const KEYS: u64 = 16;
+/// Logical value bytes; register slots are provisioned at `CAP + 8` for
+/// the TTL expiry stamp.
+const CAP: usize = 64;
+const CLIENTS: usize = 2;
+/// Tag space for bulk-loaded values, disjoint from scenario write tags
+/// (which are `key * GOLDEN + stream_index`).
+const INITIAL_TAG_BASE: u64 = 1 << 32;
+
+fn tagged(tag: u64) -> Vec<u8> {
+    let mut v = vec![0u8; CAP];
+    v[..8].copy_from_slice(&tag.to_le_bytes());
+    v
+}
+
+/// The scan+TTL scenario under test: a scan-heavy YCSB-E phase, then an
+/// insert-bearing YCSB-D phase with the hot set rotated, every insert
+/// carrying a 150 µs lease over a dedicated 8-key expiring range.
+fn spec() -> ScenarioSpec {
+    ScenarioSpec::new("scan_ttl_chaos", KEYS)
+        .phase(Phase::new(60, ScenarioMix::E).theta(0.9))
+        .phase(Phase::new(60, ScenarioMix::D).rotate(KEYS / 2))
+        .scan_max_len(8)
+        .ttl(TtlSpec {
+            insert_pct: 100,
+            ttl_ns: 150 * NANOS_PER_MICRO,
+            ttl_keys: 8,
+        })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlanKind {
+    /// A node dies and restarts (memory intact) while traffic continues.
+    CrashRestart,
+    /// A latency spike on one node plus a drop window on another.
+    JitterAndDrop,
+}
+
+impl PlanKind {
+    fn plan(self, seed: u64, nodes: usize) -> FaultPlan {
+        let us = NANOS_PER_MICRO;
+        let a = NodeId(seed as usize % nodes);
+        let b = NodeId((seed as usize + 1) % nodes);
+        match self {
+            PlanKind::CrashRestart => FaultPlan::new()
+                .crash_at(60 * us, a)
+                .restart_at(260 * us, a),
+            PlanKind::JitterAndDrop => FaultPlan::new()
+                .delay_spike(40 * us, a, 15 * us, 250 * us)
+                .drop_window(60 * us, b, 400, 220 * us),
+        }
+    }
+}
+
+struct CellOutcome {
+    history: KvHistory,
+    plan: FaultPlan,
+    scans: u64,
+    scanned_items: u64,
+    leases_granted: u64,
+    leases_expired: u64,
+}
+
+fn run_cell(proto: Protocol, kind: PlanKind, seed: u64) -> CellOutcome {
+    let sim = Sim::new(seed);
+    let cluster = StoreBuilder::new(proto)
+        .value_size(CAP + 8)
+        .max_clients(CLIENTS + 1)
+        // Fault plans can stall quorums; the deadline turns a lost op into
+        // an ambiguous history entry instead of a hung worker.
+        .op_deadline_ns(2 * NANOS_PER_MILLI)
+        .build_cluster(&sim);
+    cluster.load_keys(KEYS, |k| ttl_stamp_never(&tagged(INITIAL_TAG_BASE + k)));
+    if let Some(m) = cluster.membership() {
+        m.watch_until(5 * NANOS_PER_MILLI);
+    }
+    let plan = kind.plan(seed, cluster.fabric().num_nodes());
+    cluster.fabric().apply_fault_plan(&plan);
+
+    let rec = HistoryRecorder::new(&sim);
+    for k in 0..KEYS {
+        rec.set_initial(k, &tagged(INITIAL_TAG_BASE + k));
+    }
+    // Recorder OUTSIDE the TTL wrapper: it sees unstamped payloads, and
+    // expired keys read as recorded absences.
+    let ttls: Vec<_> = (0..CLIENTS)
+        .map(|i| swarm_kv::TtlStore::new(&sim, cluster.client(i)))
+        .collect();
+    let stores: Vec<_> = ttls.iter().map(|t| rec.wrap(Rc::clone(t))).collect();
+
+    let spec = spec();
+    let cfg = ScenarioRunConfig {
+        seed,
+        value_cap: CAP,
+        ..Default::default()
+    };
+    let stats = run_scenario(&sim, &stores, &spec, &cfg);
+
+    let mut leases_granted = 0;
+    let mut leases_expired = 0;
+    for t in &ttls {
+        for (key, at) in t.take_expired() {
+            rec.note_expiry(key, at);
+            leases_expired += 1;
+        }
+    }
+    leases_granted += stats.lat(ScenarioOpClass::Insert).len() as u64;
+    CellOutcome {
+        history: rec.take_history(),
+        plan,
+        scans: stats.lat(ScenarioOpClass::Scan).len() as u64,
+        scanned_items: stats.scanned_items,
+        leases_granted,
+        leases_expired,
+    }
+}
+
+/// The headline sweep: {SWARM, DM-ABD} × {crash-restart, jitter+drop} × 4
+/// seeds; every history with scans and TTL expiries interleaved into the
+/// fault window must linearize.
+#[test]
+fn scan_and_ttl_scenarios_stay_linearizable_under_faults() {
+    let seeds: Vec<u64> = (0..4u64).map(|i| 0x5CE4_A000 + i * 7919).collect();
+    let mut cells = Vec::new();
+    for proto in [Protocol::SafeGuess, Protocol::Abd] {
+        for kind in [PlanKind::CrashRestart, PlanKind::JitterAndDrop] {
+            for &seed in &seeds {
+                cells.push((proto, kind, seed));
+            }
+        }
+    }
+    let results = swarm_bench::sweep(&cells, |&(p, k, s)| run_cell(p, k, s));
+
+    let mut total_scanned = 0;
+    let mut total_expired = 0;
+    for ((proto, kind, seed), r) in cells.iter().zip(results) {
+        assert!(
+            r.scans > 0,
+            "{} / {kind:?} / seed {seed}: the YCSB-E phase ran no scans",
+            proto.name()
+        );
+        total_scanned += r.scanned_items;
+        total_expired += r.leases_expired;
+        assert!(
+            r.leases_expired <= r.leases_granted,
+            "{} / {kind:?} / seed {seed}: more expiries than leases",
+            proto.name()
+        );
+        if let Err(e) = r.history.check() {
+            panic!(
+                "{} scan+TTL scenario is NOT linearizable under {kind:?}, seed {seed}: {e}\n\
+                 ({} of {} ops definite, {} leases expired)\nfault plan:\n{}",
+                proto.name(),
+                r.history.definite_ops(),
+                r.history.len(),
+                r.leases_expired,
+                r.plan,
+            );
+        }
+    }
+    assert!(cells.len() >= 16, "sweep shrank: {} cells", cells.len());
+    assert!(total_scanned > 0, "no scan returned a single item");
+    assert!(
+        total_expired > 0,
+        "no lease expired anywhere in the sweep — the TTL path went untested"
+    );
+}
+
+/// Replay guard (the `TESTING.md` convention): the same `(protocol, plan,
+/// seed)` triple reproduces the recorded history — including every scan
+/// observation and expiry instant — bit for bit.
+#[test]
+fn scenario_chaos_cells_replay_bit_identically() {
+    let a = run_cell(Protocol::SafeGuess, PlanKind::JitterAndDrop, 0x5CE4_A001);
+    let b = run_cell(Protocol::SafeGuess, PlanKind::JitterAndDrop, 0x5CE4_A001);
+    assert_eq!(a.plan, b.plan, "fault plan diverged across reruns");
+    assert_eq!(a.history, b.history, "history diverged across reruns");
+    assert_eq!(
+        (a.scans, a.scanned_items, a.leases_granted, a.leases_expired),
+        (b.scans, b.scanned_items, b.leases_granted, b.leases_expired),
+        "counters diverged across reruns"
+    );
+    let c = run_cell(Protocol::SafeGuess, PlanKind::JitterAndDrop, 0x5CE4_A002);
+    assert_ne!(a.history, c.history, "seed is not feeding the run");
+}

@@ -1,0 +1,220 @@
+//! Property tests for the scenario engine: op-stream purity (the
+//! determinism contract `bench_scenarios` reports rely on) and the
+//! YCSB-E scan semantics (a scan is observationally equivalent to a
+//! sequential per-key get sweep when nothing runs concurrently).
+
+use proptest::prelude::*;
+
+use swarm_kv::{KvStore, Protocol, StoreBuilder};
+use swarm_sim::Sim;
+use swarm_workload::{
+    scenario_value, Phase, ScenarioMix, ScenarioOp, ScenarioSpec, TtlSpec, ValueSizeDist,
+};
+
+/// An arbitrary mix: either one of the six YCSB letters or a random
+/// six-way percentage split (five sorted cuts of `[0, 100)` make six
+/// buckets summing to exactly 100).
+fn mix_strategy() -> impl Strategy<Value = ScenarioMix> {
+    prop_oneof![
+        (0usize..6).prop_map(|i| ScenarioMix::ycsb_all()[i].1),
+        (0u64..100, 0u64..100, 0u64..100, 0u64..100, 0u64..100).prop_map(|(a, b, c, d, e)| {
+            let mut cuts = [a, b, c, d, e];
+            cuts.sort_unstable();
+            ScenarioMix {
+                get_pct: cuts[0],
+                update_pct: cuts[1] - cuts[0],
+                insert_pct: cuts[2] - cuts[1],
+                delete_pct: cuts[3] - cuts[2],
+                scan_pct: cuts[4] - cuts[3],
+                rmw_pct: 100 - cuts[4],
+            }
+        }),
+    ]
+}
+
+fn values_strategy() -> impl Strategy<Value = ValueSizeDist> {
+    prop_oneof![
+        (8usize..256).prop_map(ValueSizeDist::Fixed),
+        (8usize..64, 64usize..4096, 0u64..=100).prop_map(|(small, large, large_pct)| {
+            ValueSizeDist::Bimodal {
+                small,
+                large,
+                large_pct,
+            }
+        }),
+    ]
+}
+
+fn spec_strategy() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        2u64..512,
+        proptest::collection::vec((1usize..120, mix_strategy(), 0u64..99, 0u64..1024), 1..4),
+        values_strategy(),
+        proptest::option::of((1u64..=100, 1u64..1_000_000, 1u64..64)),
+        1usize..32,
+    )
+        .prop_map(|(n_keys, phases, values, ttl, scan_max_len)| {
+            let mut spec = ScenarioSpec::new("prop", n_keys)
+                .values(values)
+                .scan_max_len(scan_max_len);
+            for (ops, mix, theta_pct, rotation) in phases {
+                spec = spec.phase(
+                    Phase::new(ops, mix)
+                        .theta(theta_pct as f64 / 100.0)
+                        .rotate(rotation),
+                );
+            }
+            if let Some((insert_pct, ttl_ns, ttl_keys)) = ttl {
+                spec = spec.ttl(TtlSpec {
+                    insert_pct,
+                    ttl_ns,
+                    ttl_keys,
+                });
+            }
+            spec
+        })
+}
+
+proptest! {
+    /// Stream purity: `(seed, spec)` regenerates the byte-identical op
+    /// vector, the lazy stream agrees with the materialized one, and every
+    /// emitted op respects the spec's bounds (keys inside the keyspace +
+    /// TTL tail, sizes drawable from the distribution, scan limits within
+    /// `scan_max_len`).
+    #[test]
+    fn scenario_streams_are_pure_and_in_bounds(spec in spec_strategy(), seed in any::<u64>()) {
+        let ops = spec.ops(seed);
+        prop_assert_eq!(&ops, &spec.ops(seed), "regeneration must be bit-identical");
+        let lazy: Vec<_> = spec.stream(seed).collect();
+        prop_assert_eq!(&ops, &lazy, "lazy stream must equal the materialized vector");
+        prop_assert_eq!(ops.len(), spec.total_ops());
+
+        let max = spec.values.max_size();
+        for op in &ops {
+            prop_assert!(op.key() < spec.total_keys(), "key escapes the keyspace");
+            match *op {
+                ScenarioOp::Update { size, .. }
+                | ScenarioOp::Insert { size, .. }
+                | ScenarioOp::Rmw { size, .. } => prop_assert!(size <= max),
+                ScenarioOp::Scan { limit, .. } => {
+                    prop_assert!(limit >= 1 && limit <= spec.scan_max_len)
+                }
+                _ => {}
+            }
+        }
+        // A different seed must actually perturb a non-trivial stream.
+        if ops.len() >= 16 {
+            prop_assert_ne!(&ops, &spec.ops(seed.wrapping_add(1)));
+        }
+    }
+
+    /// Write versions are unique across the whole stream (they are the
+    /// stream index), so every write tag `key * GOLDEN + version` is
+    /// distinguishable to the linearizability checker.
+    #[test]
+    fn scenario_write_versions_never_repeat(spec in spec_strategy(), seed in any::<u64>()) {
+        let mut seen = std::collections::HashSet::new();
+        for op in spec.ops(seed) {
+            let v = match op {
+                ScenarioOp::Update { version, .. }
+                | ScenarioOp::Insert { version, .. }
+                | ScenarioOp::Rmw { version, .. } => version,
+                _ => continue,
+            };
+            prop_assert!(seen.insert(v), "a write version repeated");
+        }
+    }
+}
+
+const KEYS: u64 = 24;
+
+/// The equivalence oracle: every `(start, limit)` probe's scan must return
+/// exactly what a sequential per-key get sweep over the same ordered range
+/// observes — same keys, same order, same bytes.
+async fn assert_scan_matches_gets<S: KvStore>(store: &S, label: &str) {
+    for start in [0u64, 1, 7, KEYS - 3, KEYS + 5] {
+        for limit in [1usize, 4, 16] {
+            let scanned = store
+                .scan(start, limit)
+                .await
+                .unwrap_or_else(|e| panic!("{label}: scan({start}, {limit}) failed: {e:?}"));
+            let mut expect = Vec::new();
+            for k in start..KEYS {
+                if expect.len() == limit {
+                    break;
+                }
+                let v = store
+                    .get(k)
+                    .await
+                    .expect("fault-free get")
+                    .unwrap_or_else(|| panic!("{label}: key {k} must be present"));
+                expect.push((k, v));
+            }
+            assert_eq!(
+                scanned, expect,
+                "{label}: scan({start}, {limit}) diverged from the get sweep"
+            );
+        }
+    }
+}
+
+/// YCSB-E semantics on all four protocols, unsharded and through the
+/// 4-shard router (whose scans fan out to every shard and reassemble in
+/// key order).
+#[test]
+fn scan_equals_sequential_get_sweep_on_all_protocols() {
+    for proto in Protocol::all() {
+        for shards in [1usize, 4] {
+            let sim = Sim::new(0x5CA0 + shards as u64);
+            let builder = StoreBuilder::new(proto).value_size(64).max_clients(2);
+            let label = format!("{} / {shards} shard(s)", proto.name());
+            if shards == 1 {
+                let cluster = builder.build_cluster(&sim);
+                cluster.load_keys(KEYS, |k| scenario_value(k, 0, 64));
+                let client = cluster.client(0);
+                sim.block_on(async move { assert_scan_matches_gets(&*client, &label).await });
+            } else {
+                let cluster = builder.shards(shards).build_sharded(&sim);
+                cluster.load_keys(KEYS, |k| scenario_value(k, 0, 64));
+                let router = cluster.router(0);
+                sim.block_on(async move { assert_scan_matches_gets(&*router, &label).await });
+            }
+        }
+    }
+}
+
+/// The scan view tracks mutations: inserted keys appear (including past
+/// the preloaded range), deleted keys vanish, updated bytes are the fresh
+/// ones — on the tombstone-backed protocols, where deletes are coherent.
+#[test]
+fn scan_view_tracks_mutations() {
+    for proto in [Protocol::SafeGuess, Protocol::Abd] {
+        let sim = Sim::new(0x5CA7);
+        let cluster = StoreBuilder::new(proto)
+            .value_size(64)
+            .max_clients(2)
+            .build_cluster(&sim);
+        cluster.load_keys(4, |k| scenario_value(k, 0, 64));
+        let client = cluster.client(0);
+        let name = proto.name();
+        sim.block_on(async move {
+            client.delete(1).await.expect("delete");
+            client
+                .update(2, scenario_value(2, 100, 64))
+                .await
+                .expect("update");
+            client
+                .insert(9, scenario_value(9, 101, 64))
+                .await
+                .expect("insert");
+            let items = client.scan(0, 16).await.expect("scan");
+            let keys: Vec<u64> = items.iter().map(|&(k, _)| k).collect();
+            assert_eq!(keys, vec![0, 2, 3, 9], "{name}: scan view after mutations");
+            assert_eq!(
+                *items[1].1,
+                scenario_value(2, 100, 64),
+                "{name}: fresh bytes"
+            );
+        });
+    }
+}

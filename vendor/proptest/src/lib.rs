@@ -3,7 +3,8 @@
 //! Supports the subset this workspace's property tests use: the
 //! [`proptest!`] macro over functions whose arguments are drawn from
 //! strategies (`x in 0u64..100`), [`any`] for primitive types and
-//! [`prop::sample::Index`], tuple strategies, [`collection::vec`], and the
+//! [`prop::sample::Index`], tuple strategies, [`collection::vec`],
+//! [`Strategy::prop_map`], [`prop_oneof!`], [`option::of`], and the
 //! `prop_assert*` macros.
 //!
 //! Differences from the real crate: cases are generated from a fixed seed
@@ -49,6 +50,95 @@ impl TestRng {
 pub trait Strategy {
     type Value;
     fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (`proptest`'s `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// A uniform choice between boxed strategies of one value type — what
+/// [`prop_oneof!`] builds. (The real crate supports weighted arms; the
+/// tests here only use uniform ones.)
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `options` (must be non-empty).
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.options.len() as u64) as usize;
+        self.options[i].generate(rng)
+    }
+}
+
+/// Boxes a strategy for use in a [`Union`] (the `prop_oneof!` expansion).
+pub fn boxed<S: Strategy + 'static>(s: S) -> Box<dyn Strategy<Value = S::Value>> {
+    Box::new(s)
+}
+
+/// `proptest::prop_oneof!`: picks one of the arm strategies uniformly per
+/// generated case.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($s)),+])
+    };
+}
+
+pub mod option {
+    //! `proptest::option`: strategies for `Option<T>`.
+    use super::{Strategy, TestRng};
+
+    /// The result of [`of`].
+    pub struct OptionStrategy<S>(S);
+
+    /// Generates `Some(inner)` half the time, `None` otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
 }
 
 /// Values with a canonical "any value of the type" strategy.
@@ -250,7 +340,8 @@ macro_rules! prop_assert_ne {
 
 pub mod prelude {
     pub use crate::{
-        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Arbitrary, Strategy,
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Strategy,
     };
 }
 
@@ -275,6 +366,17 @@ mod tests {
         fn tuples_and_index(pair in (any::<bool>(), 1u64..4), idx in any::<prop::sample::Index>()) {
             let (_, n) = pair;
             prop_assert!(idx.index(n as usize) < n as usize);
+        }
+
+        #[test]
+        fn map_oneof_and_option(
+            v in prop_oneof![(0u64..4).prop_map(|x| x * 10), 100u64..104],
+            o in crate::option::of(5u8..7),
+        ) {
+            prop_assert!(matches!(v, 0 | 10 | 20 | 30 | 100..=103));
+            if let Some(x) = o {
+                prop_assert!((5..7).contains(&x));
+            }
         }
     }
 }
